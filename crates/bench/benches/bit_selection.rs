@@ -1,0 +1,54 @@
+//! Criterion micro-bench: partitioning-bit selection (§3.1) and
+//! ROT-partition construction over backbone-scale tables.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spal_core::bits::{select_bits, select_bits_with, BitSelectionStrategy};
+use spal_core::partition::Partitioning;
+use spal_rib::synth;
+
+fn bench_bit_selection(c: &mut Criterion) {
+    let table = synth::synthesize(&synth::SynthConfig::sized(40_000, 81));
+    let mut group = c.benchmark_group("bit_selection_40k");
+    group.sample_size(10);
+    group.bench_function("eta4_minmax", |b| {
+        b.iter(|| select_bits(black_box(&table), 4))
+    });
+    group.bench_function("eta4_lexicographic", |b| {
+        b.iter(|| {
+            select_bits_with(
+                black_box(&table),
+                4,
+                31,
+                BitSelectionStrategy::Lexicographic,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let table = synth::synthesize(&synth::SynthConfig::sized(40_000, 82));
+    let bits = select_bits(&table, 4);
+    let mut group = c.benchmark_group("partition_40k");
+    group.sample_size(10);
+    group.bench_function("build_psi16", |b| {
+        b.iter(|| {
+            let p = Partitioning::new(black_box(&table), bits.clone(), 16);
+            p.forwarding_tables(&table).len()
+        })
+    });
+    group.bench_function("home_of", |b| {
+        let p = Partitioning::new(&table, bits.clone(), 16);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in (0..100_000u32).step_by(97) {
+                acc = acc.wrapping_add(p.home_of(black_box(a.wrapping_mul(2654435761))) as u32);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bit_selection, bench_partitioning);
+criterion_main!(benches);

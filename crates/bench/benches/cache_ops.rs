@@ -1,0 +1,56 @@
+//! Criterion micro-bench: LR-cache probe/reserve/fill throughput under
+//! a Zipf reference stream — the per-cycle operation the simulator
+//! models as the single cache port.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spal_cache::{LrCache, LrCacheConfig, Origin, ProbeResult};
+use spal_traffic::locality::{LocalityModel, LocalitySampler};
+
+fn zipf_addresses(n: usize, distinct: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sampler = LocalitySampler::new(LocalityModel::Zipf { alpha: 1.1 }, distinct);
+    (0..n)
+        .map(|_| (sampler.next_index(&mut rng) as u32).wrapping_mul(2654435761))
+        .collect()
+}
+
+fn bench_probe_fill(c: &mut Criterion) {
+    let addrs = zipf_addresses(8192, 20_000, 3);
+    let mut group = c.benchmark_group("lr_cache");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    for (name, blocks) in [("1K", 1024usize), ("4K", 4096), ("8K", 8192)] {
+        group.bench_function(format!("probe_fill_{name}"), |b| {
+            let mut cache: LrCache<u16> = LrCache::new(LrCacheConfig::paper(blocks));
+            b.iter(|| {
+                let mut hits = 0u32;
+                for &a in &addrs {
+                    match cache.probe(black_box(a)) {
+                        ProbeResult::Hit { .. } => hits += 1,
+                        _ => {
+                            let _ = cache.fill(a, 1, Origin::Loc);
+                        }
+                    }
+                }
+                hits
+            })
+        });
+    }
+    // The full miss path with reservation and waiting-entry completion.
+    group.bench_function("reserve_fill_cycle", |b| {
+        let mut cache: LrCache<u16> = LrCache::new(LrCacheConfig::paper(4096));
+        b.iter(|| {
+            for &a in &addrs[..1024] {
+                if matches!(cache.probe(a), ProbeResult::Miss) {
+                    let _ = cache.reserve(a);
+                    let _ = cache.fill(a, 1, Origin::Rem);
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_fill);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench: multi-threaded lookup throughput over shared
+//! read-only forwarding tables — the software-router adoption path
+//! (every trie is `Send + Sync` once built, so worker threads share one
+//! `Arc` without locks).
+//!
+//! NB: on a single-core host (e.g. a CPU-quota'd container, `nproc` = 1)
+//! the thread counts time-slice and throughput stays flat; scaling shows
+//! on real multi-core machines.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spal_core::{ForwardingTable, LpmAlgorithm};
+use spal_lpm::Lpm;
+use spal_rib::synth;
+use std::sync::Arc;
+
+fn bench_parallel(c: &mut Criterion) {
+    let table = synth::synthesize(&synth::SynthConfig::sized(40_000, 55));
+    let fwd: Arc<ForwardingTable> = Arc::new(ForwardingTable::build(LpmAlgorithm::Lulea, &table));
+    let mut rng = StdRng::seed_from_u64(4);
+    let addrs: Arc<Vec<u32>> = Arc::new(
+        (0..65_536)
+            .map(|_| {
+                let e = table.entries()[rng.gen_range(0..table.len())];
+                e.prefix.first_addr() + (rng.gen::<u64>() % e.prefix.size()) as u32
+            })
+            .collect(),
+    );
+
+    let mut group = c.benchmark_group("parallel_lulea_lookup");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    group.sample_size(20);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| {
+                let chunk = addrs.len() / threads;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let fwd = Arc::clone(&fwd);
+                            let addrs = Arc::clone(&addrs);
+                            scope.spawn(move || {
+                                let lo = t * chunk;
+                                let hi = if t == threads - 1 {
+                                    addrs.len()
+                                } else {
+                                    lo + chunk
+                                };
+                                let mut acc = 0u32;
+                                for &a in &addrs[lo..hi] {
+                                    if let Some(nh) = fwd.lookup(a) {
+                                        acc = acc.wrapping_add(nh.0 as u32);
+                                    }
+                                }
+                                acc
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker"))
+                        .fold(0u32, u32::wrapping_add)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

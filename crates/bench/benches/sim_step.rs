@@ -1,0 +1,55 @@
+//! Criterion macro-bench: end-to-end simulator throughput (cycles and
+//! packets per wall-second) on a small SPAL configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spal_cache::LrCacheConfig;
+use spal_rib::synth;
+use spal_sim::{RouterKind, RouterSim, SimConfig};
+use spal_traffic::{preset, PresetName, TracePreset};
+
+fn bench_sim(c: &mut Criterion) {
+    let table = synth::synthesize(&synth::SynthConfig::sized(20_000, 91));
+    let p = TracePreset {
+        distinct: 4_000,
+        ..preset(PresetName::D75)
+    };
+    let traces = p.generate(&table, 4 * 5_000, 5).split(4);
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("spal_psi4_5k_packets", |b| {
+        b.iter(|| {
+            let config = SimConfig {
+                kind: RouterKind::Spal,
+                psi: 4,
+                cache: LrCacheConfig {
+                    blocks: 1024,
+                    ..LrCacheConfig::default()
+                },
+                packets_per_lc: 5_000,
+                seed: 3,
+                ..SimConfig::default()
+            };
+            RouterSim::new(&table, &traces, config).run().cycles
+        })
+    });
+    group.bench_function("cache_only_psi4_5k_packets", |b| {
+        b.iter(|| {
+            let config = SimConfig {
+                kind: RouterKind::CacheOnly,
+                psi: 4,
+                cache: LrCacheConfig {
+                    blocks: 1024,
+                    ..LrCacheConfig::default()
+                },
+                packets_per_lc: 5_000,
+                seed: 3,
+                ..SimConfig::default()
+            };
+            RouterSim::new(&table, &traces, config).run().cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

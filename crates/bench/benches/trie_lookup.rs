@@ -1,0 +1,63 @@
+//! Criterion micro-bench: longest-prefix-match lookup latency for each
+//! trie over a backbone-scale table (wall-clock counterpart of the E4
+//! memory-access counts).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spal_core::{ForwardingTable, LpmAlgorithm};
+use spal_lpm::Lpm;
+use spal_rib::synth;
+
+fn bench_lookups(c: &mut Criterion) {
+    let table = synth::synthesize(&synth::SynthConfig::sized(40_000, 77));
+    let mut rng = StdRng::seed_from_u64(7);
+    let addrs: Vec<u32> = (0..4096)
+        .map(|_| {
+            let e = table.entries()[rng.gen_range(0..table.len())];
+            e.prefix.first_addr() + (rng.gen::<u64>() % e.prefix.size()) as u32
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("trie_lookup");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    for (name, algo) in [
+        ("binary", LpmAlgorithm::Binary),
+        ("dp", LpmAlgorithm::Dp),
+        ("lulea", LpmAlgorithm::Lulea),
+        ("lctrie", LpmAlgorithm::Lc { fill_factor: 0.25 }),
+    ] {
+        let fwd = ForwardingTable::build(algo, &table);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &a in &addrs {
+                    if let Some(nh) = fwd.lookup(black_box(a)) {
+                        acc = acc.wrapping_add(nh.0 as u32);
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let table = synth::synthesize(&synth::SynthConfig::sized(20_000, 78));
+    let mut group = c.benchmark_group("trie_build_20k");
+    group.sample_size(10);
+    for (name, algo) in [
+        ("dp", LpmAlgorithm::Dp),
+        ("lulea", LpmAlgorithm::Lulea),
+        ("lctrie", LpmAlgorithm::Lc { fill_factor: 0.25 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| ForwardingTable::build(algo, black_box(&table)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookups, bench_build);
+criterion_main!(benches);

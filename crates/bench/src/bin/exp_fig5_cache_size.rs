@@ -1,0 +1,63 @@
+//! **E6 / Fig. 5** — Mean lookup time (cycles) versus LR-cache size β
+//! for ψ = 16, 40 Gbps, 40-cycle FE, five traces; γ = 50 % (25 % at
+//! β = 1K, the paper's small-cache rule).
+//!
+//! Paper's shape: monotone improvement with β; at β = 4K every trace is
+//! below 9.2 cycles (> 21 Mpps per LC, > 336 Mpps router-wide).
+//!
+//! Run: `cargo run --release -p spal-bench --bin exp_fig5_cache_size`
+
+use spal_bench::setup::{parallel_map, rt2, trace_streams, ExpOptions};
+use spal_bench::TablePrinter;
+use spal_cache::LrCacheConfig;
+use spal_sim::{RouterKind, RouterSim, SimConfig};
+use spal_traffic::ALL_PRESETS;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let betas = [1024usize, 2048, 4096, 8192];
+    let table = rt2();
+    println!(
+        "Fig. 5 reproduction: mean lookup time (cycles) vs LR-cache size; psi=16, {} packets/LC",
+        opts.packets_per_lc
+    );
+    let mut printer = TablePrinter::new(&["trace", "1K", "2K", "4K", "8K"]);
+    for name in ALL_PRESETS {
+        let jobs: Vec<_> = betas
+            .iter()
+            .map(|&beta| {
+                let table = &table;
+                move || {
+                    let traces = trace_streams(name, table, 16, opts.packets_per_lc, opts.seed);
+                    let config = SimConfig {
+                        kind: RouterKind::Spal,
+                        psi: 16,
+                        cache: LrCacheConfig::paper(beta),
+                        packets_per_lc: opts.packets_per_lc,
+                        seed: opts.seed,
+                        ..SimConfig::default()
+                    };
+                    RouterSim::new(table, &traces, config).run()
+                }
+            })
+            .collect();
+        let reports = parallel_map(jobs);
+        let mut cells = vec![name.label().to_string()];
+        cells.extend(
+            reports
+                .iter()
+                .map(|r| format!("{:.2}", r.mean_lookup_cycles())),
+        );
+        printer.row(&cells);
+        eprintln!(
+            "{}: Mpps/LC at 4K = {:.1}",
+            name.label(),
+            reports[2].latency.lookups_per_second() / 1e6
+        );
+    }
+    printer.print();
+    printer.save_results_csv("fig5_cache_size");
+    println!();
+    println!("Paper's shape: larger beta => shorter lookups; at beta=4K all traces");
+    println!("below 9.2 cycles, i.e. beyond 21 Mpps per LC (336 Mpps at psi=16).");
+}

@@ -1,0 +1,9 @@
+//! Shared harness for the experiment binaries (one per paper table or
+//! figure — see `DESIGN.md`'s per-experiment index) and the Criterion
+//! micro-benches.
+
+pub mod fmt;
+pub mod setup;
+
+pub use fmt::TablePrinter;
+pub use setup::{rt1, rt2, trace_streams, ExpOptions};

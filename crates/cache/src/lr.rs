@@ -1,0 +1,776 @@
+//! The set-associative LR-cache itself: probe / reserve / fill / flush,
+//! with the M-bit mix rule and W-bit waiting entries of §3.2.
+
+use crate::policy::ReplacementPolicy;
+use crate::stats::CacheStats;
+use crate::victim::{VictimBlock, VictimCache};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Where a cached result came from — the M ("mix") status bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Origin {
+    /// Result produced by the local FE (this LC is the address's home).
+    Loc,
+    /// Result obtained from a remote FE over the fabric.
+    Rem,
+}
+
+/// How the mix rule participates in replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MixMode {
+    /// §3.2 behaviour: the over-represented class supplies the eviction
+    /// candidates.
+    #[default]
+    Enforce,
+    /// Ablation: ignore the M bit; replacement is plain LRU/FIFO/random
+    /// over the whole set.
+    Ignore,
+}
+
+/// How an address maps to a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexScheme {
+    /// Low `log2(sets)` address bits (hardware-faithful default).
+    #[default]
+    LowBits,
+    /// XOR of the high and low halves before masking (ablation; robust
+    /// against pathological strides).
+    XorFold,
+}
+
+/// Configuration of one LR-cache.
+#[derive(Debug, Clone)]
+pub struct LrCacheConfig {
+    /// Total blocks β (paper: 1K–8K). Must be a multiple of `assoc`, and
+    /// `blocks / assoc` must be a power of two.
+    pub blocks: usize,
+    /// Set associativity (paper: 4).
+    pub assoc: usize,
+    /// Mix value γ: the fraction of each set reserved for REM results
+    /// (paper sweeps 0 %, 25 %, 50 %, 75 %; 50 % is best for β ≥ 2K).
+    pub mix_rem_fraction: f64,
+    /// Whether the mix rule is enforced.
+    pub mix_mode: MixMode,
+    /// Conventional policy among candidates.
+    pub policy: ReplacementPolicy,
+    /// Victim-cache capacity in blocks (paper: 8; 0 disables).
+    pub victim_blocks: usize,
+    /// Set-index scheme.
+    pub index_scheme: IndexScheme,
+    /// Seed for the (only) source of randomness, the `Random` policy.
+    pub seed: u64,
+}
+
+impl Default for LrCacheConfig {
+    fn default() -> Self {
+        LrCacheConfig {
+            blocks: 4096,
+            assoc: 4,
+            mix_rem_fraction: 0.5,
+            mix_mode: MixMode::Enforce,
+            policy: ReplacementPolicy::Lru,
+            victim_blocks: 8,
+            index_scheme: IndexScheme::LowBits,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl LrCacheConfig {
+    /// Convenience: the paper's configuration for a given β, applying the
+    /// §5.2 rule that γ drops to 25 % when β = 1K.
+    pub fn paper(blocks: usize) -> Self {
+        LrCacheConfig {
+            blocks,
+            mix_rem_fraction: if blocks <= 1024 { 0.25 } else { 0.5 },
+            ..Default::default()
+        }
+    }
+}
+
+/// Outcome of probing the cache with a packet's destination address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult<V> {
+    /// Complete entry found; the packet is satisfied immediately.
+    Hit { value: V, origin: Origin },
+    /// A reserved entry exists but its reply has not arrived; the packet
+    /// must join the entry's waiting list.
+    HitWaiting,
+    /// No entry for this address.
+    Miss,
+}
+
+/// Outcome of reserving a block on a miss (early recording).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReserveOutcome {
+    /// A block now carries the address with its W bit set.
+    Reserved,
+    /// Every block in the set is itself waiting; nothing was evictable,
+    /// so the packet proceeds unrecorded.
+    SetFullOfWaiting,
+}
+
+/// Outcome of delivering a lookup result to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillOutcome {
+    /// The reply completed a waiting entry.
+    CompletedWaiting,
+    /// No waiting entry existed (reservation had failed or the entry was
+    /// flushed); the result was inserted as a fresh complete entry when
+    /// possible.
+    Inserted,
+    /// No waiting entry and no insertable slot (set full of waiters).
+    Dropped,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block<V> {
+    Invalid,
+    /// W bit set: address recorded, reply pending.
+    Waiting {
+        addr: u32,
+    },
+    /// Availability = shared: a complete result.
+    Complete {
+        addr: u32,
+        value: V,
+        origin: Origin,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way<V> {
+    block: Block<V>,
+    lru: u64,
+    fifo: u64,
+}
+
+/// One line card's LR-cache.
+///
+/// ```
+/// use spal_cache::{LrCache, LrCacheConfig, Origin, ProbeResult, ReserveOutcome, FillOutcome};
+///
+/// let mut cache: LrCache<u16> = LrCache::new(LrCacheConfig::paper(4096));
+/// // A miss reserves a W-bit entry (early recording, §3.2)…
+/// assert_eq!(cache.probe(0x0A010203), ProbeResult::Miss);
+/// assert_eq!(cache.reserve(0x0A010203), ReserveOutcome::Reserved);
+/// // …followers wait instead of re-issuing the lookup…
+/// assert_eq!(cache.probe(0x0A010203), ProbeResult::HitWaiting);
+/// // …and the reply completes the entry for everyone.
+/// assert_eq!(cache.fill(0x0A010203, 7, Origin::Rem), FillOutcome::CompletedWaiting);
+/// assert!(matches!(cache.probe(0x0A010203), ProbeResult::Hit { value: 7, .. }));
+/// ```
+#[derive(Debug)]
+pub struct LrCache<V> {
+    config: LrCacheConfig,
+    sets: usize,
+    ways: Vec<Way<V>>, // sets × assoc, row-major
+    victim: VictimCache<V>,
+    stats: CacheStats,
+    clock: u64,
+    rng: SmallRng,
+    /// ⌈γ · assoc⌉ blocks per set for REM, precomputed.
+    rem_quota: usize,
+}
+
+impl<V: Copy + Eq + std::fmt::Debug> LrCache<V> {
+    /// Build a cache from a configuration.
+    ///
+    /// # Panics
+    /// Panics if `blocks` is not a positive multiple of `assoc` or the
+    /// set count is not a power of two.
+    pub fn new(config: LrCacheConfig) -> Self {
+        assert!(config.assoc > 0, "associativity must be positive");
+        assert!(
+            config.blocks > 0 && config.blocks.is_multiple_of(config.assoc),
+            "blocks must be a positive multiple of assoc"
+        );
+        let sets = config.blocks / config.assoc;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            (0.0..=1.0).contains(&config.mix_rem_fraction),
+            "mix fraction must be in [0, 1]"
+        );
+        let rem_quota = (config.mix_rem_fraction * config.assoc as f64).round() as usize;
+        let ways = vec![
+            Way {
+                block: Block::Invalid,
+                lru: 0,
+                fifo: 0
+            };
+            config.blocks
+        ];
+        let victim = VictimCache::new(config.victim_blocks, config.policy);
+        let rng = SmallRng::seed_from_u64(config.seed);
+        LrCache {
+            sets,
+            ways,
+            victim,
+            stats: CacheStats::default(),
+            clock: 0,
+            rng,
+            rem_quota,
+            config,
+        }
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> &LrCacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset statistics (the cache contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    #[inline]
+    fn set_of(&self, addr: u32) -> usize {
+        let mask = (self.sets - 1) as u32;
+        let idx = match self.config.index_scheme {
+            IndexScheme::LowBits => addr & mask,
+            IndexScheme::XorFold => (addr ^ (addr >> 16)) & mask,
+        };
+        idx as usize
+    }
+
+    #[inline]
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let start = set * self.config.assoc;
+        start..start + self.config.assoc
+    }
+
+    /// Probe for `addr` (one cache port operation). Updates recency and
+    /// statistics; promotes victim-cache hits back into the main array.
+    pub fn probe(&mut self, addr: u32) -> ProbeResult<V> {
+        self.clock += 1;
+        let range = self.set_range(self.set_of(addr));
+        for i in range.clone() {
+            match self.ways[i].block {
+                Block::Complete {
+                    addr: a,
+                    value,
+                    origin,
+                } if a == addr => {
+                    self.ways[i].lru = self.clock;
+                    match origin {
+                        Origin::Loc => self.stats.hits_loc += 1,
+                        Origin::Rem => self.stats.hits_rem += 1,
+                    }
+                    return ProbeResult::Hit { value, origin };
+                }
+                Block::Waiting { addr: a } if a == addr => {
+                    self.ways[i].lru = self.clock;
+                    self.stats.hits_waiting += 1;
+                    return ProbeResult::HitWaiting;
+                }
+                _ => {}
+            }
+        }
+        // Parallel probe of the victim cache; a hit swaps the block back.
+        if let Some(block) = self.victim.take(addr) {
+            self.stats.victim_hits += 1;
+            let origin = if block.origin_is_rem {
+                Origin::Rem
+            } else {
+                Origin::Loc
+            };
+            match origin {
+                Origin::Loc => self.stats.hits_loc += 1,
+                Origin::Rem => self.stats.hits_rem += 1,
+            }
+            self.install(addr, block.value, origin);
+            return ProbeResult::Hit {
+                value: block.value,
+                origin,
+            };
+        }
+        self.stats.misses += 1;
+        ProbeResult::Miss
+    }
+
+    /// Reserve a waiting block for `addr` after a miss (early recording).
+    /// The entry's W bit stays set until [`LrCache::fill`] delivers the
+    /// result. Idempotent: reserving an address that already has an
+    /// entry (waiting or complete) re-marks that entry as waiting
+    /// instead of creating a duplicate.
+    pub fn reserve(&mut self, addr: u32) -> ReserveOutcome {
+        self.clock += 1;
+        let set = self.set_of(addr);
+        for i in self.set_range(set) {
+            match self.ways[i].block {
+                Block::Waiting { addr: a } | Block::Complete { addr: a, .. } if a == addr => {
+                    self.ways[i].block = Block::Waiting { addr };
+                    self.ways[i].lru = self.clock;
+                    self.stats.reservations += 1;
+                    return ReserveOutcome::Reserved;
+                }
+                _ => {}
+            }
+        }
+        match self.pick_slot(set) {
+            Some(i) => {
+                self.evict_to_victim(i);
+                self.ways[i] = Way {
+                    block: Block::Waiting { addr },
+                    lru: self.clock,
+                    fifo: self.clock,
+                };
+                self.stats.reservations += 1;
+                ReserveOutcome::Reserved
+            }
+            None => {
+                self.stats.reservation_failures += 1;
+                ReserveOutcome::SetFullOfWaiting
+            }
+        }
+    }
+
+    /// Deliver a lookup result. Completes the waiting entry for `addr` if
+    /// one exists; otherwise inserts a fresh complete entry (the
+    /// reservation may have failed earlier or been flushed away).
+    pub fn fill(&mut self, addr: u32, value: V, origin: Origin) -> FillOutcome {
+        self.clock += 1;
+        let range = self.set_range(self.set_of(addr));
+        for i in range {
+            match self.ways[i].block {
+                Block::Waiting { addr: a } if a == addr => {
+                    self.ways[i].block = Block::Complete {
+                        addr,
+                        value,
+                        origin,
+                    };
+                    self.ways[i].lru = self.clock;
+                    self.stats.fills += 1;
+                    return FillOutcome::CompletedWaiting;
+                }
+                Block::Complete { addr: a, .. } if a == addr => {
+                    // A newer result for the same address supersedes the
+                    // cached one in place — no duplicates in a set.
+                    self.ways[i].block = Block::Complete {
+                        addr,
+                        value,
+                        origin,
+                    };
+                    self.ways[i].lru = self.clock;
+                    return FillOutcome::Inserted;
+                }
+                _ => {}
+            }
+        }
+        // Any stale victim-cache copy is superseded too.
+        let _ = self.victim.take(addr);
+        if self.install(addr, value, origin) {
+            FillOutcome::Inserted
+        } else {
+            FillOutcome::Dropped
+        }
+    }
+
+    /// Flush every block, main array and victim cache alike (§3.2: all
+    /// entries are invalidated after each routing-table update).
+    pub fn flush(&mut self) {
+        for way in &mut self.ways {
+            way.block = Block::Invalid;
+        }
+        self.victim.flush();
+        self.stats.flushes += 1;
+    }
+
+    /// Number of complete (shared) entries currently held, per M class:
+    /// `(loc, rem)`. Diagnostic; O(blocks).
+    pub fn occupancy(&self) -> (usize, usize) {
+        let mut loc = 0;
+        let mut rem = 0;
+        for w in &self.ways {
+            if let Block::Complete { origin, .. } = w.block {
+                match origin {
+                    Origin::Loc => loc += 1,
+                    Origin::Rem => rem += 1,
+                }
+            }
+        }
+        (loc, rem)
+    }
+
+    /// Number of waiting (W-bit) entries. Diagnostic; O(blocks).
+    pub fn waiting_count(&self) -> usize {
+        self.ways
+            .iter()
+            .filter(|w| matches!(w.block, Block::Waiting { .. }))
+            .count()
+    }
+
+    /// Install a complete entry directly (victim promotion, or a fill
+    /// whose reservation was lost). Returns false when every block in the
+    /// set is waiting.
+    fn install(&mut self, addr: u32, value: V, origin: Origin) -> bool {
+        let set = self.set_of(addr);
+        let Some(i) = self.pick_slot(set) else {
+            return false;
+        };
+        self.evict_to_victim(i);
+        self.ways[i] = Way {
+            block: Block::Complete {
+                addr,
+                value,
+                origin,
+            },
+            lru: self.clock,
+            fifo: self.clock,
+        };
+        true
+    }
+
+    /// Choose the way to (re)use in `set`: an invalid block if any,
+    /// otherwise a complete block selected by the mix rule + policy.
+    /// Waiting blocks are never evicted (their waiting lists would be
+    /// orphaned). Returns `None` if all blocks are waiting.
+    fn pick_slot(&mut self, set: usize) -> Option<usize> {
+        let range = self.set_range(set);
+        // Free slot first.
+        for i in range.clone() {
+            if matches!(self.ways[i].block, Block::Invalid) {
+                return Some(i);
+            }
+        }
+        // Count complete blocks per class.
+        let mut loc = 0usize;
+        let mut rem = 0usize;
+        for i in range.clone() {
+            if let Block::Complete { origin, .. } = self.ways[i].block {
+                match origin {
+                    Origin::Loc => loc += 1,
+                    Origin::Rem => rem += 1,
+                }
+            }
+        }
+        if loc + rem == 0 {
+            return None; // set entirely waiting
+        }
+        // The class exceeding its quota supplies the candidates (§3.2);
+        // hardware checks the M bits of the set in parallel.
+        let restrict = match self.config.mix_mode {
+            MixMode::Ignore => None,
+            MixMode::Enforce => {
+                let loc_quota = self.config.assoc - self.rem_quota;
+                if rem > self.rem_quota {
+                    Some(Origin::Rem)
+                } else if loc > loc_quota {
+                    Some(Origin::Loc)
+                } else {
+                    None
+                }
+            }
+        };
+        let candidates = |filter: Option<Origin>| {
+            let ways = &self.ways;
+            range.clone().filter_map(move |i| match ways[i].block {
+                Block::Complete { origin, .. } if filter.is_none() || filter == Some(origin) => {
+                    Some((i, ways[i].lru, ways[i].fifo))
+                }
+                _ => None,
+            })
+        };
+        let chosen = self
+            .config
+            .policy
+            .choose(candidates(restrict), &mut self.rng)
+            .or_else(|| self.config.policy.choose(candidates(None), &mut self.rng));
+        debug_assert!(
+            chosen.is_some(),
+            "complete blocks exist, so a candidate does"
+        );
+        chosen
+    }
+
+    /// Move a complete block out of way `i` into the victim cache.
+    fn evict_to_victim(&mut self, i: usize) {
+        if let Block::Complete {
+            addr,
+            value,
+            origin,
+        } = self.ways[i].block
+        {
+            self.stats.evictions += 1;
+            self.victim.insert(
+                VictimBlock {
+                    addr,
+                    value,
+                    origin_is_rem: origin == Origin::Rem,
+                },
+                &mut self.rng,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(assoc: usize, sets: usize) -> LrCache<u16> {
+        LrCache::new(LrCacheConfig {
+            blocks: assoc * sets,
+            assoc,
+            victim_blocks: 0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn probe_miss_reserve_fill_hit() {
+        let mut c = tiny(4, 4);
+        assert_eq!(c.probe(100), ProbeResult::Miss);
+        assert_eq!(c.reserve(100), ReserveOutcome::Reserved);
+        assert_eq!(c.probe(100), ProbeResult::HitWaiting);
+        assert_eq!(c.fill(100, 7, Origin::Loc), FillOutcome::CompletedWaiting);
+        assert_eq!(
+            c.probe(100),
+            ProbeResult::Hit {
+                value: 7,
+                origin: Origin::Loc
+            }
+        );
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits_waiting, 1);
+        assert_eq!(s.hits_loc, 1);
+        assert_eq!(s.reservations, 1);
+        assert_eq!(s.fills, 1);
+    }
+
+    #[test]
+    fn fill_without_reservation_inserts() {
+        let mut c = tiny(4, 4);
+        assert_eq!(c.fill(100, 7, Origin::Rem), FillOutcome::Inserted);
+        assert_eq!(
+            c.probe(100),
+            ProbeResult::Hit {
+                value: 7,
+                origin: Origin::Rem
+            }
+        );
+    }
+
+    #[test]
+    fn different_sets_do_not_collide() {
+        let mut c = tiny(2, 4); // sets indexed by low 2 bits
+        c.fill(0, 10, Origin::Loc);
+        c.fill(1, 11, Origin::Loc);
+        c.fill(2, 12, Origin::Loc);
+        c.fill(3, 13, Origin::Loc);
+        for a in 0..4u32 {
+            assert!(matches!(c.probe(a), ProbeResult::Hit { value, .. } if value == 10 + a as u16));
+        }
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny(2, 1);
+        c.fill(0, 1, Origin::Loc);
+        c.fill(4, 2, Origin::Loc); // same set (one set only)
+        c.probe(0); // make 4 the LRU
+        c.fill(8, 3, Origin::Loc); // evicts 4
+        assert!(matches!(c.probe(0), ProbeResult::Hit { value: 1, .. }));
+        assert!(matches!(c.probe(8), ProbeResult::Hit { value: 3, .. }));
+        assert_eq!(c.probe(4), ProbeResult::Miss);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn mix_rule_evicts_over_represented_class() {
+        // assoc 4, γ = 50 % → REM quota 2.
+        let mut c = LrCache::new(LrCacheConfig {
+            blocks: 4,
+            assoc: 4,
+            victim_blocks: 0,
+            mix_rem_fraction: 0.5,
+            ..Default::default()
+        });
+        // 3 REM + 1 LOC, then insert: REM exceeds quota → a REM goes.
+        c.fill(0, 1, Origin::Rem);
+        c.fill(4, 2, Origin::Rem);
+        c.fill(8, 3, Origin::Rem);
+        c.fill(12, 4, Origin::Loc);
+        // LRU among REM is addr 0.
+        c.fill(16, 5, Origin::Loc);
+        assert_eq!(c.probe(0), ProbeResult::Miss);
+        assert!(matches!(c.probe(12), ProbeResult::Hit { value: 4, .. }));
+        assert!(matches!(c.probe(16), ProbeResult::Hit { value: 5, .. }));
+    }
+
+    #[test]
+    fn mix_rule_protects_under_represented_class() {
+        // 3 LOC + 1 REM with γ = 50 %: LOC (quota 2) is over → LOC evicted
+        // even though the REM block is the LRU.
+        let mut c = LrCache::new(LrCacheConfig {
+            blocks: 4,
+            assoc: 4,
+            victim_blocks: 0,
+            mix_rem_fraction: 0.5,
+            ..Default::default()
+        });
+        c.fill(0, 1, Origin::Rem); // LRU overall
+        c.fill(4, 2, Origin::Loc);
+        c.fill(8, 3, Origin::Loc);
+        c.fill(12, 4, Origin::Loc);
+        c.fill(16, 5, Origin::Loc);
+        // REM survived; the oldest LOC (addr 4) went.
+        assert!(matches!(c.probe(0), ProbeResult::Hit { value: 1, .. }));
+        assert_eq!(c.probe(4), ProbeResult::Miss);
+    }
+
+    #[test]
+    fn mix_ignore_mode_is_plain_lru() {
+        let mut c = LrCache::new(LrCacheConfig {
+            blocks: 4,
+            assoc: 4,
+            victim_blocks: 0,
+            mix_mode: MixMode::Ignore,
+            ..Default::default()
+        });
+        c.fill(0, 1, Origin::Rem); // LRU overall
+        c.fill(4, 2, Origin::Loc);
+        c.fill(8, 3, Origin::Loc);
+        c.fill(12, 4, Origin::Loc);
+        c.fill(16, 5, Origin::Loc);
+        assert_eq!(c.probe(0), ProbeResult::Miss); // plain LRU evicted REM
+    }
+
+    #[test]
+    fn waiting_blocks_are_not_evicted() {
+        let mut c = tiny(2, 1);
+        c.reserve(0);
+        c.reserve(4);
+        // Set is now entirely waiting.
+        assert_eq!(c.reserve(8), ReserveOutcome::SetFullOfWaiting);
+        assert_eq!(c.fill(12, 9, Origin::Loc), FillOutcome::Dropped);
+        assert_eq!(c.stats().reservation_failures, 1);
+        // Completing one waiter frees the set for future evictions.
+        assert_eq!(c.fill(0, 1, Origin::Loc), FillOutcome::CompletedWaiting);
+        assert_eq!(c.reserve(8), ReserveOutcome::Reserved);
+        // The waiting entry for 4 must still be there.
+        assert_eq!(c.probe(4), ProbeResult::HitWaiting);
+    }
+
+    #[test]
+    fn victim_cache_rescues_conflict_misses() {
+        let mut with_victim = LrCache::new(LrCacheConfig {
+            blocks: 4,
+            assoc: 4,
+            victim_blocks: 8,
+            ..Default::default()
+        });
+        // Fill the set, then overflow it.
+        for i in 0..5u32 {
+            with_victim.fill(i * 4, i as u16, Origin::Loc);
+        }
+        // The evicted block (addr 0) is in the victim cache: still a hit.
+        assert!(matches!(
+            with_victim.probe(0),
+            ProbeResult::Hit { value: 0, .. }
+        ));
+        assert_eq!(with_victim.stats().victim_hits, 1);
+    }
+
+    #[test]
+    fn victim_promotion_preserves_origin() {
+        let mut c = LrCache::new(LrCacheConfig {
+            blocks: 4,
+            assoc: 4,
+            victim_blocks: 8,
+            mix_mode: MixMode::Ignore,
+            ..Default::default()
+        });
+        c.fill(0, 1, Origin::Rem);
+        for i in 1..5u32 {
+            c.fill(i * 4, i as u16, Origin::Loc);
+        }
+        match c.probe(0) {
+            ProbeResult::Hit { origin, .. } => assert_eq!(origin, Origin::Rem),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        let mut c = LrCache::new(LrCacheConfig::default());
+        c.fill(1, 1, Origin::Loc);
+        c.reserve(2);
+        c.flush();
+        assert_eq!(c.probe(1), ProbeResult::Miss);
+        assert_eq!(c.probe(2), ProbeResult::Miss);
+        assert_eq!(c.occupancy(), (0, 0));
+        assert_eq!(c.waiting_count(), 0);
+        assert_eq!(c.stats().flushes, 1);
+    }
+
+    #[test]
+    fn occupancy_tracks_classes() {
+        let mut c = LrCache::new(LrCacheConfig::default());
+        c.fill(1, 1, Origin::Loc);
+        c.fill(2, 2, Origin::Rem);
+        c.fill(3, 3, Origin::Rem);
+        c.reserve(4);
+        assert_eq!(c.occupancy(), (1, 2));
+        assert_eq!(c.waiting_count(), 1);
+    }
+
+    #[test]
+    fn paper_config_gamma_rule() {
+        assert!((LrCacheConfig::paper(1024).mix_rem_fraction - 0.25).abs() < 1e-12);
+        assert!((LrCacheConfig::paper(2048).mix_rem_fraction - 0.5).abs() < 1e-12);
+        assert!((LrCacheConfig::paper(4096).mix_rem_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_sets_rejected() {
+        let _ = LrCache::<u16>::new(LrCacheConfig {
+            blocks: 12,
+            assoc: 4,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn xorfold_differs_from_lowbits() {
+        let mut a = LrCache::new(LrCacheConfig {
+            blocks: 64,
+            assoc: 4,
+            victim_blocks: 0,
+            index_scheme: IndexScheme::LowBits,
+            ..Default::default()
+        });
+        let mut b = LrCache::new(LrCacheConfig {
+            blocks: 64,
+            assoc: 4,
+            victim_blocks: 0,
+            index_scheme: IndexScheme::XorFold,
+            ..Default::default()
+        });
+        // Addresses differing only in high bits collide under LowBits but
+        // spread under XorFold.
+        let addrs: Vec<u32> = (0..8).map(|i| i << 16).collect();
+        for &x in &addrs {
+            a.fill(x, 1, Origin::Loc);
+            b.fill(x, 1, Origin::Loc);
+        }
+        let a_hits = addrs
+            .iter()
+            .filter(|&&x| matches!(a.probe(x), ProbeResult::Hit { .. }))
+            .count();
+        let b_hits = addrs
+            .iter()
+            .filter(|&&x| matches!(b.probe(x), ProbeResult::Hit { .. }))
+            .count();
+        assert!(b_hits > a_hits, "xorfold {b_hits} vs lowbits {a_hits}");
+    }
+}

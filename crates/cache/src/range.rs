@@ -1,0 +1,196 @@
+//! Address-range caching — the approach of Chiueh & Pradhan, "Cache
+//! Memory Design for Internet Processors" (ref \[6\], discussed in §2.2
+//! of the paper).
+//!
+//! Instead of one `<address, result>` pair per block, each entry covers a
+//! *range* of contiguous addresses sharing the same lookup result, so one
+//! entry can satisfy many distinct destinations. The paper's §2.2
+//! counter-argument, which the E12 experiment reproduces: backbone tables
+//! carry /32 host routes and growing numbers of prefix exceptions, which
+//! fragment the range structure down to single addresses and erase the
+//! coverage advantage.
+
+use std::collections::VecDeque;
+
+/// One cached range: `[start, end]` inclusive, all resolving to `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeEntry<V> {
+    pub start: u32,
+    pub end: u32,
+    pub value: V,
+}
+
+impl<V> RangeEntry<V> {
+    /// Whether `addr` falls inside this range.
+    #[inline]
+    pub fn contains(&self, addr: u32) -> bool {
+        self.start <= addr && addr <= self.end
+    }
+}
+
+/// Simple hit/miss accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl RangeCacheStats {
+    /// Fraction of probes that hit.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fully-associative LRU cache of address ranges (ref \[6\] maps them
+/// onto CPU cache lines; full associativity with LRU is the favourable
+/// end of its design space, so the comparison cannot be accused of
+/// handicapping the baseline).
+#[derive(Debug, Clone)]
+pub struct RangeCache<V> {
+    entries: VecDeque<RangeEntry<V>>, // front = most recent
+    capacity: usize,
+    stats: RangeCacheStats,
+}
+
+impl<V: Copy + Eq> RangeCache<V> {
+    /// A cache holding at most `capacity` ranges.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "range cache needs at least one entry");
+        RangeCache {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: RangeCacheStats::default(),
+        }
+    }
+
+    /// Probe for `addr`: a hit returns the covering range's value and
+    /// refreshes its recency.
+    pub fn probe(&mut self, addr: u32) -> Option<V> {
+        match self.entries.iter().position(|e| e.contains(addr)) {
+            Some(i) => {
+                let e = self.entries.remove(i).expect("index valid");
+                self.entries.push_front(e);
+                self.stats.hits += 1;
+                Some(e.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly resolved range, evicting the LRU entry if full.
+    pub fn insert(&mut self, entry: RangeEntry<V>) {
+        debug_assert!(entry.start <= entry.end, "inverted range");
+        // Ranges are disjoint by construction (they come from one
+        // interval map); same-start re-insertion replaces.
+        if let Some(i) = self.entries.iter().position(|e| e.start == entry.start) {
+            self.entries.remove(i);
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.pop_back();
+        }
+        self.entries.push_front(entry);
+    }
+
+    /// Number of cached ranges.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accounting.
+    pub fn stats(&self) -> &RangeCacheStats {
+        &self.stats
+    }
+
+    /// Drop everything (routing-table update).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(start: u32, end: u32, v: u16) -> RangeEntry<u16> {
+        RangeEntry {
+            start,
+            end,
+            value: v,
+        }
+    }
+
+    #[test]
+    fn range_hit_covers_many_addresses() {
+        let mut c = RangeCache::new(4);
+        c.insert(r(100, 199, 7));
+        for addr in [100u32, 150, 199] {
+            assert_eq!(c.probe(addr), Some(7));
+        }
+        assert_eq!(c.probe(99), None);
+        assert_eq!(c.probe(200), None);
+        assert!((c.stats().hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = RangeCache::new(2);
+        c.insert(r(0, 9, 1));
+        c.insert(r(10, 19, 2));
+        assert_eq!(c.probe(5), Some(1)); // refresh range 0..9
+        c.insert(r(20, 29, 3)); // evicts 10..19
+        assert_eq!(c.probe(15), None);
+        assert_eq!(c.probe(5), Some(1));
+        assert_eq!(c.probe(25), Some(3));
+    }
+
+    #[test]
+    fn reinsert_same_start_replaces() {
+        let mut c = RangeCache::new(4);
+        c.insert(r(0, 9, 1));
+        c.insert(r(0, 9, 2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.probe(3), Some(2));
+    }
+
+    #[test]
+    fn single_address_ranges_degenerate_to_exact_cache() {
+        // The Sec. 2.2 point: with /32 exceptions the minimum range size
+        // is 1 and a range entry covers exactly one destination.
+        let mut c = RangeCache::new(2);
+        c.insert(r(5, 5, 1));
+        assert_eq!(c.probe(5), Some(1));
+        assert_eq!(c.probe(6), None);
+    }
+
+    #[test]
+    fn flush_clears() {
+        let mut c = RangeCache::new(2);
+        c.insert(r(0, 9, 1));
+        c.flush();
+        assert!(c.is_empty());
+        assert_eq!(c.probe(5), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _: RangeCache<u16> = RangeCache::new(0);
+    }
+}

@@ -1,0 +1,204 @@
+//! The victim cache: a small fully-associative cache holding blocks
+//! evicted from the main array by conflict misses (§3.2). The paper
+//! equips every LR-cache with an 8-block victim cache and probes it in
+//! parallel with the main array.
+
+use crate::policy::ReplacementPolicy;
+use rand::rngs::SmallRng;
+
+/// A complete (non-waiting) block stored in the victim cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VictimBlock<V> {
+    pub addr: u32,
+    pub value: V,
+    /// The M bit travels with the block so a promoted entry keeps its
+    /// LOC/REM class.
+    pub origin_is_rem: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    block: VictimBlock<V>,
+    lru: u64,
+    fifo: u64,
+}
+
+/// Fully-associative victim cache with a configurable capacity and
+/// replacement policy (LRU by default, matching §5.1).
+#[derive(Debug, Clone)]
+pub struct VictimCache<V> {
+    slots: Vec<Slot<V>>,
+    capacity: usize,
+    policy: ReplacementPolicy,
+    clock: u64,
+}
+
+impl<V: Copy + Eq> VictimCache<V> {
+    /// Create a victim cache with `capacity` blocks (0 disables it).
+    pub fn new(capacity: usize, policy: ReplacementPolicy) -> Self {
+        VictimCache {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            policy,
+            clock: 0,
+        }
+    }
+
+    /// Number of blocks currently held.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the victim cache holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Configured capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up `addr`; on a hit the block is *removed* (the caller
+    /// promotes it back into the main array, the classic swap).
+    pub fn take(&mut self, addr: u32) -> Option<VictimBlock<V>> {
+        let pos = self.slots.iter().position(|s| s.block.addr == addr)?;
+        Some(self.slots.swap_remove(pos).block)
+    }
+
+    /// Non-destructive lookup (used by probes that only need the value).
+    pub fn peek(&mut self, addr: u32) -> Option<VictimBlock<V>> {
+        self.clock += 1;
+        let clock = self.clock;
+        let slot = self.slots.iter_mut().find(|s| s.block.addr == addr)?;
+        slot.lru = clock;
+        Some(slot.block)
+    }
+
+    /// Insert a block evicted from the main array, evicting by policy if
+    /// full. Returns the displaced block, if any.
+    pub fn insert(&mut self, block: VictimBlock<V>, rng: &mut SmallRng) -> Option<VictimBlock<V>> {
+        if self.capacity == 0 {
+            return Some(block);
+        }
+        self.clock += 1;
+        // Same address may re-arrive after a promote/evict cycle; replace.
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.block.addr == block.addr) {
+            let old = slot.block;
+            slot.block = block;
+            slot.lru = self.clock;
+            slot.fifo = self.clock;
+            return Some(old);
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.push(Slot {
+                block,
+                lru: self.clock,
+                fifo: self.clock,
+            });
+            return None;
+        }
+        let idx = self
+            .policy
+            .choose(
+                self.slots
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (i, s.lru, s.fifo)),
+                rng,
+            )
+            .expect("victim cache is full, so candidates exist");
+        let displaced = self.slots[idx].block;
+        self.slots[idx] = Slot {
+            block,
+            lru: self.clock,
+            fifo: self.clock,
+        };
+        Some(displaced)
+    }
+
+    /// Drop every block (routing-table update flush).
+    pub fn flush(&mut self) {
+        self.slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(3)
+    }
+
+    fn blk(addr: u32, value: u16) -> VictimBlock<u16> {
+        VictimBlock {
+            addr,
+            value,
+            origin_is_rem: false,
+        }
+    }
+
+    #[test]
+    fn take_removes() {
+        let mut v = VictimCache::new(8, ReplacementPolicy::Lru);
+        v.insert(blk(1, 10), &mut rng());
+        assert_eq!(v.take(1).unwrap().value, 10);
+        assert!(v.take(1).is_none());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut v = VictimCache::new(2, ReplacementPolicy::Lru);
+        let mut r = rng();
+        assert!(v.insert(blk(1, 1), &mut r).is_none());
+        assert!(v.insert(blk(2, 2), &mut r).is_none());
+        // Touch 1 so 2 becomes LRU.
+        assert!(v.peek(1).is_some());
+        let displaced = v.insert(blk(3, 3), &mut r).unwrap();
+        assert_eq!(displaced.addr, 2);
+        assert_eq!(v.len(), 2);
+        assert!(v.peek(1).is_some() && v.peek(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_rejects() {
+        let mut v = VictimCache::new(0, ReplacementPolicy::Lru);
+        let rejected = v.insert(blk(1, 1), &mut rng()).unwrap();
+        assert_eq!(rejected.addr, 1);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn duplicate_address_replaces() {
+        let mut v = VictimCache::new(4, ReplacementPolicy::Lru);
+        let mut r = rng();
+        v.insert(blk(5, 1), &mut r);
+        let old = v.insert(blk(5, 2), &mut r).unwrap();
+        assert_eq!(old.value, 1);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.peek(5).unwrap().value, 2);
+    }
+
+    #[test]
+    fn flush_clears() {
+        let mut v = VictimCache::new(4, ReplacementPolicy::Fifo);
+        v.insert(blk(1, 1), &mut rng());
+        v.flush();
+        assert!(v.is_empty());
+        assert!(v.peek(1).is_none());
+    }
+
+    #[test]
+    fn fifo_eviction_ignores_touches() {
+        let mut v = VictimCache::new(2, ReplacementPolicy::Fifo);
+        let mut r = rng();
+        v.insert(blk(1, 1), &mut r);
+        v.insert(blk(2, 2), &mut r);
+        v.peek(1); // FIFO ignores recency
+        let displaced = v.insert(blk(3, 3), &mut r).unwrap();
+        assert_eq!(displaced.addr, 1);
+    }
+}

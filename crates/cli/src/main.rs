@@ -1,0 +1,344 @@
+//! `spal` — command-line interface to the SPAL reproduction.
+//!
+//! ```text
+//! spal gen-table --size 41709 --seed 1 --out table.txt
+//! spal stats --table table.txt
+//! spal partition --psi 16 --table table.txt
+//! spal lookup --table table.txt 10.1.2.3 192.168.0.1
+//! spal gen-trace --preset D_75 --packets 100000 --table table.txt --out trace.txt
+//! spal simulate --psi 16 --beta 4096 --preset D_75 --packets 100000
+//! ```
+
+mod args;
+
+use args::{ArgError, Args};
+use spal_cache::LrCacheConfig;
+use spal_core::bits::{eta_for, select_bits};
+use spal_core::partition::Partitioning;
+use spal_core::{ForwardingTable, LpmAlgorithm};
+use spal_lpm::Lpm;
+use spal_rib::stats::{nesting_stats, LengthDistribution};
+use spal_rib::{parse, synth, RoutingTable};
+use spal_sim::{RouterKind, RouterSim, SimConfig};
+use spal_traffic::{preset, PresetName, Trace};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" {
+        print_usage();
+        return;
+    }
+    let command = raw[0].clone();
+    let args = match Args::parse(raw.into_iter().skip(1)) {
+        Ok(a) => a,
+        Err(e) => die(&e.to_string()),
+    };
+    let result = match command.as_str() {
+        "gen-table" => cmd_gen_table(&args),
+        "stats" => cmd_stats(&args),
+        "partition" => cmd_partition(&args),
+        "lookup" => cmd_lookup(&args),
+        "gen-trace" => cmd_gen_trace(&args),
+        "analyze-trace" => cmd_analyze_trace(&args),
+        "simulate" => cmd_simulate(&args),
+        other => Err(ArgError(format!(
+            "unknown command {other:?}; try 'spal help'"
+        ))),
+    };
+    if let Err(e) = result {
+        die(&e.to_string());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn print_usage() {
+    println!(
+        "spal — SPAL packet-lookup toolkit (ICPP 2004 reproduction)
+
+commands:
+  gen-table  --size N --seed S [--out FILE]        synthesize a routing table
+  stats      --table FILE | --rt1 | --rt2          table statistics
+  partition  --psi N [--table FILE|--rt1|--rt2]    partitioning bits + sizes
+  lookup     --table FILE ADDR...                  longest-prefix match
+  gen-trace  --preset NAME --packets N [--table …] [--out FILE]
+  analyze-trace --in FILE | (--preset NAME --packets N [--table …])
+             reuse-distance profile + predicted LRU hit rates
+  simulate   --psi N [--beta B] [--gamma G] [--preset NAME]
+             [--packets N] [--kind spal|cache-only|conventional]
+             [--speed 10|40] [--fe CYCLES] [--seed S]
+
+presets: D_75 D_81 L_92-0 L_92-1 B_L"
+    );
+}
+
+/// Resolve the table source flags shared by several commands.
+fn load_table(args: &Args) -> Result<RoutingTable, ArgError> {
+    if args.has("rt1") {
+        return Ok(synth::rt1(0xA11CE));
+    }
+    if args.has("rt2") {
+        return Ok(synth::rt2(0xB0B));
+    }
+    match args.get("table") {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+            parse::read_table(file).map_err(|e| ArgError(format!("{path}: {e}")))
+        }
+        None => Ok(synth::synthesize(&synth::SynthConfig::sized(
+            args.get_or("size", 20_000usize)?,
+            args.get_or("seed", 1u64)?,
+        ))),
+    }
+}
+
+fn parse_preset(name: &str) -> Result<PresetName, ArgError> {
+    Ok(match name {
+        "D_75" => PresetName::D75,
+        "D_81" => PresetName::D81,
+        "L_92-0" => PresetName::L92_0,
+        "L_92-1" => PresetName::L92_1,
+        "B_L" => PresetName::BL,
+        other => return Err(ArgError(format!("unknown preset {other:?}"))),
+    })
+}
+
+fn cmd_gen_table(args: &Args) -> Result<(), ArgError> {
+    let size = args.get_or("size", 20_000usize)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let table = synth::synthesize(&synth::SynthConfig::sized(size, seed));
+    match args.get("out") {
+        Some(path) => {
+            let f = std::fs::File::create(path)
+                .map_err(|e| ArgError(format!("cannot create {path}: {e}")))?;
+            parse::write_table(&table, std::io::BufWriter::new(f))
+                .map_err(|e| ArgError(e.to_string()))?;
+            println!("wrote {} routes to {path}", table.len());
+        }
+        None => {
+            let stdout = std::io::stdout();
+            parse::write_table(&table, stdout.lock()).map_err(|e| ArgError(e.to_string()))?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), ArgError> {
+    let table = load_table(args)?;
+    let d = LengthDistribution::of(&table);
+    let n = nesting_stats(&table);
+    println!("routes: {}", table.len());
+    println!("mean prefix length: {:.2}", d.mean());
+    println!(
+        "mode: /{}",
+        d.mode().map(|m| m.to_string()).unwrap_or_default()
+    );
+    println!("<= /24: {:.1}%", d.fraction_at_most(24) * 100.0);
+    println!("/32 host routes: {}", d.counts[32]);
+    println!(
+        "nested prefixes: {} ({:.1}%), max depth {}",
+        n.nested,
+        100.0 * n.nested as f64 / table.len().max(1) as f64,
+        n.max_depth
+    );
+    println!("\nlen  count");
+    for (len, &c) in d.counts.iter().enumerate() {
+        if c > 0 {
+            println!("{len:>3}  {c}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_partition(args: &Args) -> Result<(), ArgError> {
+    let table = load_table(args)?;
+    let psi = args.get_or("psi", 4usize)?;
+    if psi == 0 {
+        return Err(ArgError("--psi must be at least 1".into()));
+    }
+    let bits = select_bits(&table, eta_for(psi));
+    let part = Partitioning::new(&table, bits.clone(), psi);
+    let stats = part.stats(&table);
+    println!("table: {} routes; psi = {psi}; bits {bits:?}", table.len());
+    println!(
+        "per-LC sizes: min {} max {} (max/min {:.3}); replication {:.2}%",
+        stats.min_size,
+        stats.max_size,
+        stats.imbalance_ratio(),
+        stats.replication_overhead() * 100.0
+    );
+    let tables = part.forwarding_tables(&table);
+    for (lc, t) in tables.iter().enumerate() {
+        let trie = ForwardingTable::build(LpmAlgorithm::Lulea, t);
+        println!(
+            "LC {lc:>2}: {:>8} prefixes, Lulea trie {:>8.1} KB",
+            t.len(),
+            trie.storage_bytes() as f64 / 1024.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_lookup(args: &Args) -> Result<(), ArgError> {
+    let table = load_table(args)?;
+    if args.positional().is_empty() {
+        return Err(ArgError("lookup needs at least one address".into()));
+    }
+    let trie = ForwardingTable::build(LpmAlgorithm::Lulea, &table);
+    for a in args.positional() {
+        let addr = parse_addr(a)?;
+        let counted = trie.lookup_counted(addr);
+        let entry = table.longest_match(addr);
+        match entry {
+            Some(e) => println!(
+                "{a} -> {} via {} ({} accesses)",
+                e.next_hop, e.prefix, counted.mem_accesses
+            ),
+            None => println!("{a} -> no route ({} accesses)", counted.mem_accesses),
+        }
+    }
+    Ok(())
+}
+
+fn parse_addr(s: &str) -> Result<u32, ArgError> {
+    let mut octets = [0u8; 4];
+    let mut n = 0;
+    for part in s.split('.') {
+        if n >= 4 {
+            return Err(ArgError(format!("bad address {s:?}")));
+        }
+        octets[n] = part
+            .parse()
+            .map_err(|_| ArgError(format!("bad address {s:?}")))?;
+        n += 1;
+    }
+    if n != 4 {
+        return Err(ArgError(format!("bad address {s:?}")));
+    }
+    Ok(u32::from_be_bytes(octets))
+}
+
+fn cmd_gen_trace(args: &Args) -> Result<(), ArgError> {
+    let table = load_table(args)?;
+    let name = parse_preset(args.get("preset").unwrap_or("D_75"))?;
+    let packets = args.get_or("packets", 100_000usize)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let trace = preset(name).generate(&table, packets, seed);
+    match args.get("out") {
+        Some(path) => {
+            let f = std::fs::File::create(path)
+                .map_err(|e| ArgError(format!("cannot create {path}: {e}")))?;
+            trace
+                .write_text(std::io::BufWriter::new(f))
+                .map_err(|e| ArgError(e.to_string()))?;
+            println!(
+                "wrote {} packets ({} distinct destinations) to {path}",
+                trace.len(),
+                trace.distinct()
+            );
+        }
+        None => {
+            let stdout = std::io::stdout();
+            trace
+                .write_text(stdout.lock())
+                .map_err(|e| ArgError(e.to_string()))?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_analyze_trace(args: &Args) -> Result<(), ArgError> {
+    use spal_traffic::analysis::ReuseProfile;
+    let trace = match args.get("in") {
+        Some(path) => {
+            let f = std::fs::File::open(path)
+                .map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+            Trace::read_text(path.to_string(), f).map_err(|e| ArgError(e.to_string()))?
+        }
+        None => {
+            let table = load_table(args)?;
+            let name = parse_preset(args.get("preset").unwrap_or("D_75"))?;
+            let packets = args.get_or("packets", 100_000usize)?;
+            preset(name).generate(&table, packets, args.get_or("seed", 1u64)?)
+        }
+    };
+    let max_cap = args.get_or("max-capacity", 8192usize)?;
+    let profile = ReuseProfile::of(&trace, max_cap + 1);
+    println!("packets: {}", profile.total());
+    println!("distinct destinations: {}", profile.distinct());
+    println!(
+        "compulsory miss share: {:.3}",
+        profile.cold_misses() as f64 / profile.total().max(1) as f64
+    );
+    println!("\ncapacity  predicted LRU hit rate");
+    let mut cap = 64usize;
+    while cap <= max_cap {
+        println!("{cap:>8}  {:.4}", profile.lru_hit_rate(cap));
+        cap *= 2;
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
+    let table = load_table(args)?;
+    let psi = args.get_or("psi", 16usize)?;
+    let beta = args.get_or("beta", 4096usize)?;
+    let gamma = args.get_or("gamma", if beta <= 1024 { 0.25 } else { 0.5 })?;
+    let packets = args.get_or("packets", 100_000usize)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let fe = args.get_or("fe", 40u32)?;
+    let kind = match args.get("kind").unwrap_or("spal") {
+        "spal" => RouterKind::Spal,
+        "cache-only" => RouterKind::CacheOnly,
+        "conventional" => RouterKind::Conventional,
+        other => return Err(ArgError(format!("unknown router kind {other:?}"))),
+    };
+    let speed = match args.get_or("speed", 40u32)? {
+        10 => spal_traffic::LcSpeed::Gbps10,
+        40 => spal_traffic::LcSpeed::Gbps40,
+        other => return Err(ArgError(format!("--speed must be 10 or 40, got {other}"))),
+    };
+    let name = parse_preset(args.get("preset").unwrap_or("D_75"))?;
+
+    let traces: Vec<Trace> = preset(name)
+        .generate(&table, packets * psi, seed)
+        .split(psi);
+    let config = SimConfig {
+        kind,
+        psi,
+        speed,
+        fe: spal_sim::FeServiceModel::Fixed(fe),
+        cache: LrCacheConfig {
+            blocks: beta,
+            mix_rem_fraction: gamma,
+            ..LrCacheConfig::default()
+        },
+        packets_per_lc: packets,
+        seed,
+        ..SimConfig::default()
+    };
+    eprintln!(
+        "simulating {kind:?}: psi={psi} beta={beta} gamma={gamma} preset={} packets/LC={packets} fe={fe}cyc",
+        name.label()
+    );
+    let report = RouterSim::new(&table, &traces, config).run();
+    println!("{}", report.summary());
+    println!(
+        "cycles: {} ({:.2} ms); p50/p99/max latency: {}/{}/{} cycles",
+        report.cycles,
+        report.cycles as f64 * 5e-6,
+        report.latency.quantile(0.5),
+        report.latency.quantile(0.99),
+        report.latency.max()
+    );
+    println!(
+        "fabric: {} msgs, mean transit {:.1} cycles",
+        report.fabric.sent,
+        report.fabric.mean_transit()
+    );
+    Ok(())
+}

@@ -1,0 +1,362 @@
+//! Baseline routers the paper compares SPAL against.
+//!
+//! * [`ConventionalRouter`] — "an existing router, which keeps all
+//!   prefixes of the routing table in each LC and has no LR-caches"
+//!   (§1/§5.2): every packet pays one full FE lookup at its arrival LC.
+//! * [`CacheOnlyRouter`] — ref \[6\]'s processor-caching approach: every
+//!   LC keeps the *whole* table plus an LR-cache, no partitioning; the
+//!   paper notes its mean lookup time is "independent of ψ and … always
+//!   equal to that of ψ = 1" because identical addresses must be looked
+//!   up again at every LC.
+//! * [`partition_by_length`] — ref \[1\]'s scheme: prefixes grouped by
+//!   *length*. Partition sizes vary wildly (≈50 % of a backbone table is
+//!   /24), every FE keeps all partitions, and no result is shared.
+
+use crate::fwd::{ForwardingTable, LpmAlgorithm};
+use spal_cache::{LrCache, LrCacheConfig, Origin, ProbeResult};
+use spal_lpm::Lpm;
+use spal_rib::{NextHop, RoutingTable};
+
+/// A conventional router: full table per LC, no result caching.
+pub struct ConventionalRouter {
+    fwd: ForwardingTable,
+    psi: usize,
+    fe_lookups: u64,
+}
+
+impl ConventionalRouter {
+    /// Build. One trie is shared in memory here (all ψ copies are
+    /// identical); storage accounting multiplies by ψ.
+    pub fn build(table: &RoutingTable, psi: usize, algorithm: LpmAlgorithm) -> Self {
+        assert!(psi >= 1);
+        ConventionalRouter {
+            fwd: ForwardingTable::build(algorithm, table),
+            psi,
+            fe_lookups: 0,
+        }
+    }
+
+    /// Look a packet up: always a full FE lookup at the arrival LC.
+    pub fn lookup(&mut self, _arrival_lc: u16, addr: u32) -> Option<NextHop> {
+        self.fe_lookups += 1;
+        self.fwd.lookup(addr)
+    }
+
+    /// Total FE lookups performed.
+    pub fn fe_lookups(&self) -> u64 {
+        self.fe_lookups
+    }
+
+    /// SRAM in one LC (the full trie).
+    pub fn lc_storage_bytes(&self) -> usize {
+        self.fwd.storage_bytes()
+    }
+
+    /// SRAM across the router: ψ identical copies.
+    pub fn total_storage_bytes(&self) -> usize {
+        self.fwd.storage_bytes() * self.psi
+    }
+}
+
+/// A cache-only router (\[6\]-style): whole table + LR-cache per LC,
+/// no partitioning, no result sharing between LCs.
+pub struct CacheOnlyRouter {
+    fwd: ForwardingTable,
+    caches: Vec<LrCache<Option<NextHop>>>,
+    fe_lookups: u64,
+}
+
+impl CacheOnlyRouter {
+    /// Build with ψ LCs and the given cache configuration.
+    pub fn build(
+        table: &RoutingTable,
+        psi: usize,
+        algorithm: LpmAlgorithm,
+        cache: &LrCacheConfig,
+    ) -> Self {
+        assert!(psi >= 1);
+        let caches = (0..psi)
+            .map(|i| {
+                LrCache::new(LrCacheConfig {
+                    seed: cache.seed.wrapping_add(i as u64),
+                    ..cache.clone()
+                })
+            })
+            .collect();
+        CacheOnlyRouter {
+            fwd: ForwardingTable::build(algorithm, table),
+            caches,
+            fe_lookups: 0,
+        }
+    }
+
+    /// Look a packet up at its arrival LC: local cache, else local FE.
+    /// Another LC looking up the same address repeats the FE work — the
+    /// sharing SPAL adds is exactly what is missing here.
+    pub fn lookup(&mut self, arrival_lc: u16, addr: u32) -> (Option<NextHop>, bool) {
+        let cache = &mut self.caches[arrival_lc as usize];
+        if let ProbeResult::Hit { value, .. } = cache.probe(addr) {
+            return (value, true);
+        }
+        self.fe_lookups += 1;
+        let nh = self.fwd.lookup(addr);
+        let _ = self.caches[arrival_lc as usize].fill(addr, nh, Origin::Loc);
+        (nh, false)
+    }
+
+    /// Total FE lookups performed.
+    pub fn fe_lookups(&self) -> u64 {
+        self.fe_lookups
+    }
+
+    /// Cache statistics of one LC.
+    pub fn cache_stats(&self, lc: usize) -> &spal_cache::CacheStats {
+        self.caches[lc].stats()
+    }
+}
+
+/// One interval of the address space over which the routing table's
+/// longest-prefix match is constant: `[start, end]` inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    pub start: u32,
+    pub end: u32,
+    pub next_hop: Option<NextHop>,
+}
+
+/// Compute the full interval map of a routing table: disjoint intervals
+/// covering the whole 32-bit space, each with a uniform lookup result,
+/// adjacent equal-result intervals merged (ref \[6\]'s range-merging
+/// step). This is what a range-caching forwarding engine (§2.2) hands to
+/// its cache on a miss — and its granularity statistics are the §2.2
+/// argument against it: any /32 route forces single-address intervals.
+pub fn interval_map(table: &RoutingTable) -> Vec<Interval> {
+    use spal_lpm::binary::BinaryTrie;
+    // Boundary points: starts of prefixes and the address after their
+    // ends (u64 to survive last_addr = u32::MAX).
+    let mut bounds: Vec<u64> = vec![0];
+    for e in table {
+        bounds.push(e.prefix.first_addr() as u64);
+        bounds.push(e.prefix.last_addr() as u64 + 1);
+    }
+    bounds.push(1u64 << 32);
+    bounds.sort_unstable();
+    bounds.dedup();
+    let trie = BinaryTrie::build(table);
+    let mut out: Vec<Interval> = Vec::with_capacity(bounds.len());
+    for w in bounds.windows(2) {
+        let (start, end) = (w[0] as u32, (w[1] - 1) as u32);
+        let next_hop = trie.lookup(start);
+        match out.last_mut() {
+            // Range merging: coalesce equal-result neighbours.
+            Some(prev) if prev.next_hop == next_hop => prev.end = end,
+            _ => out.push(Interval {
+                start,
+                end,
+                next_hop,
+            }),
+        }
+    }
+    out
+}
+
+/// Locate the interval containing `addr` (binary search).
+pub fn interval_of(map: &[Interval], addr: u32) -> Interval {
+    let i = map.partition_point(|iv| iv.end < addr);
+    debug_assert!(map[i].contains_addr(addr));
+    map[i]
+}
+
+impl Interval {
+    /// Whether `addr` falls inside this interval.
+    #[inline]
+    pub fn contains_addr(&self, addr: u32) -> bool {
+        self.start <= addr && addr <= self.end
+    }
+
+    /// Number of addresses covered.
+    pub fn size(&self) -> u64 {
+        self.end as u64 - self.start as u64 + 1
+    }
+}
+
+/// Granularity statistics of an interval map — the §2.2 quantities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalStats {
+    pub count: usize,
+    pub min_size: u64,
+    pub mean_size: f64,
+}
+
+/// Summarise an interval map (only intervals with a route count toward
+/// `min_size`; the uncovered gaps between allocations are huge and would
+/// mask the granularity signal).
+pub fn interval_stats(map: &[Interval]) -> IntervalStats {
+    let routed: Vec<&Interval> = map.iter().filter(|iv| iv.next_hop.is_some()).collect();
+    let min_size = routed.iter().map(|iv| iv.size()).min().unwrap_or(0);
+    let mean_size = if routed.is_empty() {
+        0.0
+    } else {
+        routed.iter().map(|iv| iv.size()).sum::<u64>() as f64 / routed.len() as f64
+    };
+    IntervalStats {
+        count: map.len(),
+        min_size,
+        mean_size,
+    }
+}
+
+/// Ref \[1\]'s partitioning: group prefixes by length, then pack the ≤ 33
+/// length classes onto `psi` partitions by greedy size balancing (the
+/// closest realisable analogue when ψ < 33). Returns the per-partition
+/// tables; their wild size imbalance is the point of the comparison.
+pub fn partition_by_length(table: &RoutingTable, psi: usize) -> Vec<RoutingTable> {
+    assert!(psi >= 1);
+    let mut by_len: Vec<Vec<spal_rib::RouteEntry>> = vec![Vec::new(); 33];
+    for e in table {
+        by_len[e.prefix.len() as usize].push(*e);
+    }
+    // Greedy: biggest class to least-loaded partition.
+    let mut order: Vec<usize> = (0..33).collect();
+    order.sort_by_key(|&l| std::cmp::Reverse(by_len[l].len()));
+    let mut parts: Vec<Vec<spal_rib::RouteEntry>> = vec![Vec::new(); psi];
+    for l in order {
+        let p = (0..psi)
+            .min_by_key(|&i| (parts[i].len(), i))
+            .expect("psi >= 1");
+        parts[p].extend(by_len[l].iter().copied());
+    }
+    parts.into_iter().map(RoutingTable::from_entries).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionStats;
+    use spal_rib::synth;
+
+    #[test]
+    fn conventional_always_does_fe_work() {
+        let rt = synth::small(61);
+        let mut r = ConventionalRouter::build(&rt, 4, LpmAlgorithm::Lulea);
+        let addr = rt.entries()[0].prefix.first_addr();
+        r.lookup(0, addr);
+        r.lookup(0, addr);
+        r.lookup(1, addr);
+        assert_eq!(r.fe_lookups(), 3);
+        assert_eq!(r.total_storage_bytes(), 4 * r.lc_storage_bytes());
+    }
+
+    #[test]
+    fn cache_only_caches_locally_but_not_across_lcs() {
+        let rt = synth::small(63);
+        let mut r = CacheOnlyRouter::build(
+            &rt,
+            4,
+            LpmAlgorithm::Lulea,
+            &LrCacheConfig {
+                blocks: 256,
+                ..Default::default()
+            },
+        );
+        let addr = rt.entries()[7].prefix.first_addr();
+        let (_, hit1) = r.lookup(0, addr);
+        assert!(!hit1);
+        let (_, hit2) = r.lookup(0, addr);
+        assert!(hit2);
+        // The same address from another LC misses: no sharing.
+        let (_, hit3) = r.lookup(1, addr);
+        assert!(!hit3);
+        assert_eq!(r.fe_lookups(), 2);
+    }
+
+    #[test]
+    fn cache_only_matches_oracle() {
+        use rand::{Rng, SeedableRng};
+        let rt = synth::small(65);
+        let mut r = CacheOnlyRouter::build(
+            &rt,
+            2,
+            LpmAlgorithm::Dp,
+            &LrCacheConfig {
+                blocks: 128,
+                ..Default::default()
+            },
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..300 {
+            let addr: u32 = rng.gen();
+            let (nh, _) = r.lookup(rng.gen_range(0..2), addr);
+            assert_eq!(nh, rt.longest_match(addr).map(|e| e.next_hop));
+        }
+    }
+
+    #[test]
+    fn length_partitioning_is_lossless_but_imbalanced() {
+        let rt = synth::synthesize(&synth::SynthConfig::sized(20_000, 9));
+        let parts = partition_by_length(&rt, 4);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, rt.len()); // no replication, unlike SPAL
+        let stats = PartitionStats::of(rt.len(), parts.iter().map(|p| p.len()));
+        // /24 alone is ≈half the table, so one partition dwarfs the rest.
+        assert!(
+            stats.imbalance_ratio() > 2.0,
+            "imbalance {}",
+            stats.imbalance_ratio()
+        );
+    }
+
+    #[test]
+    fn interval_map_covers_space_and_matches_oracle() {
+        use rand::{Rng, SeedableRng};
+        let rt = synth::small(71);
+        let map = interval_map(&rt);
+        // Full coverage, disjoint, ordered.
+        assert_eq!(map[0].start, 0);
+        assert_eq!(map.last().unwrap().end, u32::MAX);
+        for w in map.windows(2) {
+            assert_eq!(w[0].end as u64 + 1, w[1].start as u64);
+            assert_ne!(w[0].next_hop, w[1].next_hop, "unmerged neighbours");
+        }
+        // Interval values equal the oracle everywhere sampled.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..300 {
+            let addr: u32 = rng.gen();
+            let iv = interval_of(&map, addr);
+            assert!(iv.contains_addr(addr));
+            assert_eq!(iv.next_hop, rt.longest_match(addr).map(|e| e.next_hop));
+        }
+    }
+
+    #[test]
+    fn host_routes_force_unit_granularity() {
+        // §2.2: a /32 route makes the minimum range size 1.
+        let rt = RoutingTable::from_entries([
+            spal_rib::RouteEntry {
+                prefix: "10.0.0.0/8".parse().unwrap(),
+                next_hop: NextHop(1),
+            },
+            spal_rib::RouteEntry {
+                prefix: "10.1.2.3/32".parse().unwrap(),
+                next_hop: NextHop(2),
+            },
+        ]);
+        let stats = interval_stats(&interval_map(&rt));
+        assert_eq!(stats.min_size, 1);
+        // Without the host route the granularity is the /8 itself.
+        let rt2 = RoutingTable::from_entries([spal_rib::RouteEntry {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            next_hop: NextHop(1),
+        }]);
+        let stats2 = interval_stats(&interval_map(&rt2));
+        assert_eq!(stats2.min_size, 1 << 24);
+    }
+
+    #[test]
+    fn length_partitioning_psi_one() {
+        let rt = synth::small(67);
+        let parts = partition_by_length(&rt, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), rt.len());
+    }
+}

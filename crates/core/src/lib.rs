@@ -1,0 +1,30 @@
+//! SPAL core — the paper's primary contribution.
+//!
+//! * [`bits`] — the §3.1 greedy, recursive selection of partitioning bit
+//!   positions under Criterion 1 (minimise Φ*, the wildcard replication)
+//!   and Criterion 2 (minimise |Φ0 − Φ1|, the size imbalance);
+//! * [`partition`] — ROT-partition construction (prefixes whose chosen
+//!   bits are `*` are replicated into every matching partition), the
+//!   mapping of 2^η bit groups onto an *arbitrary* number ψ of line cards
+//!   (ψ need not be a power of two), and the LR1/LR2-style home-LC
+//!   detector;
+//! * [`fwd`] — a forwarding-table wrapper selecting one of the `spal-lpm`
+//!   algorithms per line card;
+//! * [`router`] — the functional (untimed) SPAL router: partitioned
+//!   tables + per-LC LR-caches + home routing, with full result-sharing
+//!   semantics; the cycle-accurate version lives in `spal-sim`;
+//! * [`baseline`] — the comparison points: a conventional router (full
+//!   table per LC, no caches), a cache-only router (ref \[6\]-style), and
+//!   the partition-by-length scheme of ref \[1\].
+
+pub mod baseline;
+pub mod bits;
+pub mod fwd;
+pub mod partition;
+pub mod router;
+pub mod v6;
+
+pub use bits::{select_bits, BitScore, BitSelectionStrategy};
+pub use fwd::{ForwardingTable, LpmAlgorithm};
+pub use partition::{PartitionStats, Partitioning};
+pub use router::{LookupOutcome, SpalRouter, SpalRouterConfig};

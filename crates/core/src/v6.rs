@@ -1,0 +1,164 @@
+//! SPAL over IPv6 — the §6 claim ("SPAL is feasibly applicable to
+//! IPv6") made concrete: the same two-criteria bit selection and
+//! ROT-partitioning, over 128-bit prefixes.
+//!
+//! The machinery is shared with IPv4 through [`spal_rib::bits::IpPrefix`];
+//! this module provides the IPv6-typed surface: [`select_bits6`] and
+//! [`Partitioning6`].
+
+use crate::bits::{select_bits_generic, BitSelectionStrategy};
+use crate::partition::groups_of_prefix;
+use spal_rib::bits::AddressBits;
+use spal_rib::v6::{Prefix6, RouteEntry6, RoutingTable6};
+
+/// Select `eta` partitioning bits for an IPv6 table. Candidates are
+/// restricted to positions `0..=63` — IPv6 interface identifiers (the
+/// low 64 bits) are host bits, wild in almost every routed prefix, so
+/// Criterion 1 excludes them just as it excludes positions >24 in IPv4.
+pub fn select_bits6(table: &RoutingTable6, eta: usize) -> Vec<u8> {
+    let prefixes: Vec<Prefix6> = table.entries().iter().map(|e| e.prefix).collect();
+    select_bits_generic(&prefixes, eta, 63, BitSelectionStrategy::default())
+}
+
+/// An IPv6 partitioning: chosen bits plus the group→LC mapping.
+#[derive(Debug, Clone)]
+pub struct Partitioning6 {
+    bits: Vec<u8>,
+    group_to_lc: Vec<u16>,
+    psi: usize,
+}
+
+impl Partitioning6 {
+    /// Partition an IPv6 table over `psi` LCs with the given bits.
+    ///
+    /// # Panics
+    /// As [`crate::partition::Partitioning::new`]: `psi ≥ 1`, enough
+    /// groups, distinct bits.
+    pub fn new(table: &RoutingTable6, bits: Vec<u8>, psi: usize) -> Self {
+        assert!(psi >= 1, "a router needs at least one LC");
+        let groups = 1usize << bits.len();
+        assert!(
+            groups >= psi,
+            "2^{} groups cannot cover {psi} LCs",
+            bits.len()
+        );
+        {
+            let mut b = bits.clone();
+            b.sort_unstable();
+            b.dedup();
+            assert_eq!(b.len(), bits.len(), "bit positions must be distinct");
+        }
+        let mut sizes = vec![0usize; groups];
+        for e in table.entries() {
+            for g in groups_of_prefix(&bits, e.prefix) {
+                sizes[g] += 1;
+            }
+        }
+        let group_to_lc = crate::partition::balance_groups(&sizes, psi);
+        Partitioning6 {
+            bits,
+            group_to_lc,
+            psi,
+        }
+    }
+
+    /// The chosen bit positions.
+    pub fn bits(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Number of line cards.
+    pub fn psi(&self) -> usize {
+        self.psi
+    }
+
+    /// The home LC of a 128-bit destination address.
+    #[inline]
+    pub fn home_of(&self, addr: u128) -> u16 {
+        let mut g = 0usize;
+        for &b in &self.bits {
+            g = (g << 1) | addr.bit(b) as usize;
+        }
+        self.group_to_lc[g]
+    }
+
+    /// The per-LC forwarding tables (ROT-partitions merged per LC).
+    pub fn forwarding_tables(&self, table: &RoutingTable6) -> Vec<RoutingTable6> {
+        let mut per_lc: Vec<Vec<RouteEntry6>> = vec![Vec::new(); self.psi];
+        for e in table.entries() {
+            let mut lcs: Vec<u16> = groups_of_prefix(&self.bits, e.prefix)
+                .map(|g| self.group_to_lc[g])
+                .collect();
+            lcs.sort_unstable();
+            lcs.dedup();
+            for lc in lcs {
+                per_lc[lc as usize].push(*e);
+            }
+        }
+        per_lc
+            .into_iter()
+            .map(RoutingTable6::from_entries)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spal_rib::v6::synthesize6;
+
+    #[test]
+    fn bits_stay_in_routing_prefix_range() {
+        let table = synthesize6(5_000, 31);
+        let bits = select_bits6(&table, 4);
+        assert_eq!(bits.len(), 4);
+        // The heavy lengths are /32 and /48, so useful bits sit below 48.
+        assert!(bits.iter().all(|&b| b < 48), "bits {bits:?}");
+    }
+
+    #[test]
+    fn home_lookup_equals_full_lookup_v6() {
+        use rand::{Rng, SeedableRng};
+        let table = synthesize6(4_000, 33);
+        for psi in [3usize, 4, 8] {
+            let eta = crate::bits::eta_for(psi);
+            let part = Partitioning6::new(&table, select_bits6(&table, eta), psi);
+            let tables = part.forwarding_tables(&table);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            for _ in 0..200 {
+                // Mix addresses inside known prefixes with randoms.
+                let addr = if rng.gen_bool(0.7) {
+                    let e = table.entries()[rng.gen_range(0..table.len())];
+                    e.prefix.bits() | (rng.gen::<u128>() >> e.prefix.len().max(1))
+                } else {
+                    rng.gen()
+                };
+                let home = part.home_of(addr) as usize;
+                assert_eq!(
+                    tables[home].longest_match(addr).map(|e| e.next_hop),
+                    table.longest_match(addr).map(|e| e.next_hop),
+                    "psi {psi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_shrink_v6() {
+        let table = synthesize6(8_000, 35);
+        let part = Partitioning6::new(&table, select_bits6(&table, 4), 16);
+        let tables = part.forwarding_tables(&table);
+        let max = tables.iter().map(|t| t.len()).max().unwrap();
+        assert!(max < table.len() / 8, "max partition {max}");
+        let total: usize = tables.iter().map(|t| t.len()).sum();
+        // Modest replication only.
+        assert!(total < table.len() + table.len() / 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_bits_rejected_v6() {
+        let table = synthesize6(100, 37);
+        let _ = Partitioning6::new(&table, vec![5, 5], 4);
+    }
+}

@@ -1,0 +1,26 @@
+//! Switching-fabric models for SPAL-based routers.
+//!
+//! §3 of the paper interconnects the line cards through a low-latency
+//! fabric — "a shared-bus (for a small ψ), a crossbar, or a
+//! multistage-based structure" — and deliberately abstracts the details:
+//! "no emphasis on the fabric details will be placed, but the fabric
+//! latency (in terms of system cycles) is assumed to depend on the fabric
+//! size". This crate follows that contract:
+//!
+//! * [`FabricModel`] maps a topology and port count to a transit latency
+//!   in cycles (≤ 2 cycles = 10 ns for the sizes the paper studies, per
+//!   its §1 discussion of fast crossbars);
+//! * [`SwitchingFabric`] moves [`FabricMsg`] lookup requests and replies
+//!   between LCs with that latency, one injection per source per cycle
+//!   and one delivery per destination per cycle (port serialisation), and
+//!   a single shared injection slot per cycle for the bus topology;
+//! * [`queue::Queue`] provides the FIFO queues the FIL chips use
+//!   (input, request, outgoing, incoming — Fig. 2 of the paper).
+
+pub mod msg;
+pub mod queue;
+pub mod topology;
+
+pub use msg::{FabricMsg, MsgKind};
+pub use queue::Queue;
+pub use topology::{FabricModel, FabricStats, SendError, SwitchingFabric};

@@ -1,0 +1,60 @@
+//! Messages exchanged across the switching fabric.
+
+/// What a fabric message carries.
+///
+/// Requests travel from a packet's arrival LC to its home LC; replies
+/// carry the lookup result back (§3.3). Identifiers are raw `u16`s so
+/// this crate stays dependency-free; `spal-core` maps them to `NextHop`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// "Look this address up for me" — routed by the partitioning bits.
+    Request,
+    /// The lookup result: `Some(next_hop)` or `None` for a routing miss.
+    Reply { next_hop: Option<u16> },
+}
+
+/// One message in flight over the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricMsg {
+    pub kind: MsgKind,
+    /// Originating LC (the reply's destination, read by the LR2 detector).
+    pub src: u16,
+    /// Destination LC (the home LC for requests).
+    pub dst: u16,
+    /// The packet's destination IP address.
+    pub addr: u32,
+    /// Simulator-level packet identity (latency accounting).
+    pub packet_id: u64,
+    /// Cycle the message entered the fabric.
+    pub sent_at: u64,
+}
+
+impl FabricMsg {
+    /// Whether this is a request.
+    pub fn is_request(&self) -> bool {
+        matches!(self.kind, MsgKind::Request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let req = FabricMsg {
+            kind: MsgKind::Request,
+            src: 0,
+            dst: 1,
+            addr: 42,
+            packet_id: 7,
+            sent_at: 100,
+        };
+        assert!(req.is_request());
+        let rep = FabricMsg {
+            kind: MsgKind::Reply { next_hop: Some(3) },
+            ..req
+        };
+        assert!(!rep.is_request());
+    }
+}

@@ -1,0 +1,288 @@
+//! Plain binary (uni-bit) trie: the reference LPM structure.
+//!
+//! One node per distinct prefix of a stored prefix. Lookup inspects a bit
+//! per level and remembers the deepest route passed. This is the slowest
+//! and most storage-hungry structure (the paper's motivation for the
+//! compressed tries), but it is trivially correct, supports incremental
+//! insert/withdraw, and is generic over address width so the IPv6
+//! extension (§6) can reuse it unchanged.
+
+use crate::{CountedLookup, Lpm};
+use spal_rib::bits::AddressBits;
+use spal_rib::{NextHop, RoutingTable};
+
+/// Sentinel for "no child".
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    children: [u32; 2],
+    route: Option<NextHop>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            children: [NONE, NONE],
+            route: None,
+        }
+    }
+}
+
+/// Byte size modelled per node: two 4-byte child pointers plus a 4-byte
+/// route field (next hop + validity).
+pub const NODE_BYTES: usize = 12;
+
+/// A binary trie over addresses of type `A` (`u32` for IPv4, `u128` for
+/// IPv6). Nodes live in a `Vec` arena; child links are indices.
+#[derive(Debug, Clone)]
+pub struct GenericBinaryTrie<A: AddressBits> {
+    nodes: Vec<Node>,
+    routes: usize,
+    _marker: std::marker::PhantomData<A>,
+}
+
+/// The IPv4 binary trie.
+pub type BinaryTrie = GenericBinaryTrie<u32>;
+
+impl<A: AddressBits> Default for GenericBinaryTrie<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: AddressBits> GenericBinaryTrie<A> {
+    /// An empty trie (just a root node).
+    pub fn new() -> Self {
+        GenericBinaryTrie {
+            nodes: vec![Node::new()],
+            routes: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of nodes, including the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of stored routes.
+    pub fn route_count(&self) -> usize {
+        self.routes
+    }
+
+    /// Insert (or replace) a route for the prefix `(bits, len)`.
+    /// Returns the previous next hop if the prefix was present.
+    ///
+    /// # Panics
+    /// Panics if `len > A::BITS`.
+    pub fn insert(&mut self, bits: A, len: u8, next_hop: NextHop) -> Option<NextHop> {
+        assert!(len <= A::BITS, "prefix length {len} exceeds address width");
+        let mut node = 0usize;
+        for i in 0..len {
+            let b = bits.bit(i) as usize;
+            let child = self.nodes[node].children[b];
+            node = if child == NONE {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node::new());
+                self.nodes[node].children[b] = idx;
+                idx as usize
+            } else {
+                child as usize
+            };
+        }
+        let prev = self.nodes[node].route.replace(next_hop);
+        if prev.is_none() {
+            self.routes += 1;
+        }
+        prev
+    }
+
+    /// Withdraw the route for `(bits, len)`, returning its next hop if it
+    /// was present. Nodes are not pruned (withdrawals are rare relative to
+    /// lookups; a rebuild reclaims the space).
+    pub fn remove(&mut self, bits: A, len: u8) -> Option<NextHop> {
+        assert!(len <= A::BITS, "prefix length {len} exceeds address width");
+        let mut node = 0usize;
+        for i in 0..len {
+            let b = bits.bit(i) as usize;
+            let child = self.nodes[node].children[b];
+            if child == NONE {
+                return None;
+            }
+            node = child as usize;
+        }
+        let prev = self.nodes[node].route.take();
+        if prev.is_some() {
+            self.routes -= 1;
+        }
+        prev
+    }
+
+    /// Longest-prefix match with an access count (one access per node
+    /// visited). Works for any address width.
+    pub fn lookup_counted_generic(&self, addr: A) -> CountedLookup {
+        let mut node = 0usize;
+        let mut best = self.nodes[0].route;
+        let mut accesses = 1u32; // root read
+        for i in 0..A::BITS {
+            let child = self.nodes[node].children[addr.bit(i) as usize];
+            if child == NONE {
+                break;
+            }
+            node = child as usize;
+            accesses += 1;
+            if let Some(nh) = self.nodes[node].route {
+                best = Some(nh);
+            }
+        }
+        CountedLookup {
+            next_hop: best,
+            mem_accesses: accesses,
+        }
+    }
+
+    /// Longest-prefix match for any address width.
+    pub fn lookup_generic(&self, addr: A) -> Option<NextHop> {
+        self.lookup_counted_generic(addr).next_hop
+    }
+}
+
+impl BinaryTrie {
+    /// Build an IPv4 binary trie from a routing table.
+    pub fn build(table: &RoutingTable) -> Self {
+        let mut trie = Self::new();
+        for e in table {
+            trie.insert(e.prefix.bits(), e.prefix.len(), e.next_hop);
+        }
+        trie
+    }
+}
+
+impl Lpm for BinaryTrie {
+    fn lookup_counted(&self, addr: u32) -> CountedLookup {
+        self.lookup_counted_generic(addr)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.nodes.len() * NODE_BYTES
+    }
+
+    fn name(&self) -> &'static str {
+        "Binary"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spal_rib::{RouteEntry, RoutingTable};
+
+    fn table(prefixes: &[(&str, u16)]) -> RoutingTable {
+        RoutingTable::from_entries(prefixes.iter().map(|&(s, nh)| RouteEntry {
+            prefix: s.parse().unwrap(),
+            next_hop: NextHop(nh),
+        }))
+    }
+
+    #[test]
+    fn empty_trie_matches_nothing() {
+        let t = BinaryTrie::new();
+        assert_eq!(t.lookup(0), None);
+        assert_eq!(t.lookup(u32::MAX), None);
+        assert_eq!(t.route_count(), 0);
+    }
+
+    #[test]
+    fn longest_match_agrees_with_oracle() {
+        let rt = table(&[
+            ("0.0.0.0/0", 0),
+            ("10.0.0.0/8", 1),
+            ("10.1.0.0/16", 2),
+            ("10.1.2.0/24", 3),
+            ("10.1.2.3/32", 4),
+        ]);
+        let trie = BinaryTrie::build(&rt);
+        for addr in [
+            0x0A01_0203u32,
+            0x0A01_0204,
+            0x0A01_0300,
+            0x0A02_0000,
+            0x0B00_0000,
+        ] {
+            assert_eq!(
+                trie.lookup(addr),
+                rt.longest_match(addr).map(|e| e.next_hop),
+                "addr {addr:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_route_only() {
+        let rt = table(&[("0.0.0.0/0", 9)]);
+        let trie = BinaryTrie::build(&rt);
+        assert_eq!(trie.lookup(12345), Some(NextHop(9)));
+        // Root-only lookup costs a single access.
+        assert_eq!(trie.lookup_counted(12345).mem_accesses, 1);
+    }
+
+    #[test]
+    fn insert_replace_remove() {
+        let mut t = BinaryTrie::new();
+        assert_eq!(t.insert(0x0A00_0000, 8, NextHop(1)), None);
+        assert_eq!(t.insert(0x0A00_0000, 8, NextHop(2)), Some(NextHop(1)));
+        assert_eq!(t.route_count(), 1);
+        assert_eq!(t.lookup(0x0A05_0000), Some(NextHop(2)));
+        assert_eq!(t.remove(0x0A00_0000, 8), Some(NextHop(2)));
+        assert_eq!(t.remove(0x0A00_0000, 8), None);
+        assert_eq!(t.lookup(0x0A05_0000), None);
+        assert_eq!(t.route_count(), 0);
+    }
+
+    #[test]
+    fn remove_missing_deep_prefix() {
+        let mut t = BinaryTrie::new();
+        t.insert(0x0A00_0000, 8, NextHop(1));
+        assert_eq!(t.remove(0x0A00_0000, 16), None);
+        assert_eq!(t.lookup(0x0A00_0000), Some(NextHop(1)));
+    }
+
+    #[test]
+    fn access_count_is_depth_plus_one() {
+        let rt = table(&[("10.1.2.0/24", 3)]);
+        let trie = BinaryTrie::build(&rt);
+        let c = trie.lookup_counted(0x0A01_0203);
+        assert_eq!(c.next_hop, Some(NextHop(3)));
+        assert_eq!(c.mem_accesses, 25); // root + 24 levels
+    }
+
+    #[test]
+    fn storage_grows_with_nodes() {
+        let rt = table(&[("10.0.0.0/8", 1)]);
+        let trie = BinaryTrie::build(&rt);
+        assert_eq!(trie.node_count(), 9); // root + 8 path nodes
+        assert_eq!(trie.storage_bytes(), 9 * NODE_BYTES);
+    }
+
+    #[test]
+    fn ipv6_binary_trie() {
+        let mut t: GenericBinaryTrie<u128> = GenericBinaryTrie::new();
+        let p32 = 0x2001_0db8u128 << 96;
+        let p48 = 0x2001_0db8_0001u128 << 80;
+        t.insert(p32, 32, NextHop(1));
+        t.insert(p48, 48, NextHop(2));
+        assert_eq!(t.lookup_generic(p48 | 5), Some(NextHop(2)));
+        assert_eq!(t.lookup_generic(p32 | (2u128 << 80)), Some(NextHop(1)));
+        assert_eq!(t.lookup_generic(0x3000u128 << 112), None);
+    }
+
+    #[test]
+    fn dense_sibling_prefixes() {
+        // Both children of a node carry routes; check bit-direction is right.
+        let rt = table(&[("128.0.0.0/1", 1), ("0.0.0.0/1", 2)]);
+        let trie = BinaryTrie::build(&rt);
+        assert_eq!(trie.lookup(0xFFFF_FFFF), Some(NextHop(1)));
+        assert_eq!(trie.lookup(0x0000_0001), Some(NextHop(2)));
+    }
+}

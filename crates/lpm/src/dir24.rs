@@ -1,0 +1,221 @@
+//! DIR-24-8-BASIC — the hardware lookup scheme of Gupta, Lin & McKeown,
+//! "Routing Lookups in Hardware at Memory Access Speeds" (ref \[10\],
+//! discussed in the paper's §2.1).
+//!
+//! A 2^24-entry first-level table indexed by the top 24 address bits
+//! resolves most lookups in **one** memory access; prefixes longer than
+//! /24 spill into 256-entry second-level segments (two accesses). The
+//! §2.1 point this module reproduces: the memory requirement "is huge
+//! (> 32 Mbytes)" — the antithesis of SPAL's small-SRAM goal — while
+//! lookups run at memory speed.
+
+use crate::{CountedLookup, Lpm};
+use spal_rib::{NextHop, RoutingTable};
+
+/// First-level entries: 15-bit payload plus a "long" flag, as in the
+/// original design. We store them unpacked as `u16` + flag in the high
+/// bit and model 2 bytes per entry.
+const LONG_FLAG: u16 = 0x8000;
+/// Sentinel payload for "no route".
+const MISS: u16 = 0x7FFF;
+
+/// The DIR-24-8 lookup structure.
+pub struct Dir24_8 {
+    // (fields below; Debug is implemented by hand — dumping a 16M-entry
+    // table is never what a derive user wants)
+    /// 2^24 entries: either a next hop (high bit clear) or a segment
+    /// index (high bit set).
+    tbl24: Vec<u16>,
+    /// Concatenated 256-entry second-level segments.
+    tbl_long: Vec<u16>,
+    routes: usize,
+}
+
+impl std::fmt::Debug for Dir24_8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dir24_8")
+            .field("routes", &self.routes)
+            .field("segments", &self.segment_count())
+            .field("storage_bytes", &Lpm::storage_bytes(self))
+            .finish()
+    }
+}
+
+impl Dir24_8 {
+    /// Build from a routing table.
+    ///
+    /// # Panics
+    /// Panics if a next hop exceeds the 15-bit payload (32766), or if
+    /// more than 2^15 second-level segments are needed — the published
+    /// design's own limits.
+    pub fn build(table: &RoutingTable) -> Self {
+        let mut tbl24 = vec![MISS; 1 << 24];
+        // Shortest-first fill so longer prefixes overwrite inside their
+        // ranges.
+        let mut shallow: Vec<_> = table
+            .entries()
+            .iter()
+            .filter(|e| e.prefix.len() <= 24)
+            .collect();
+        shallow.sort_by_key(|e| e.prefix.len());
+        for e in shallow {
+            let nh = e.next_hop.0;
+            assert!(nh < MISS, "next hop {nh} exceeds the 15-bit payload");
+            let start = (e.prefix.bits() >> 8) as usize;
+            let count = 1usize << (24 - e.prefix.len());
+            tbl24[start..start + count].fill(nh);
+        }
+        // Deep routes: group by 24-bit base, one segment each.
+        let mut deep: Vec<_> = table
+            .entries()
+            .iter()
+            .filter(|e| e.prefix.len() > 24)
+            .collect();
+        deep.sort_by_key(|e| e.prefix.len());
+        let mut tbl_long: Vec<u16> = Vec::new();
+        for e in deep {
+            let nh = e.next_hop.0;
+            assert!(nh < MISS, "next hop {nh} exceeds the 15-bit payload");
+            let base = (e.prefix.bits() >> 8) as usize;
+            let seg = if tbl24[base] & LONG_FLAG != 0 {
+                (tbl24[base] & !LONG_FLAG) as usize
+            } else {
+                // Allocate a segment seeded with the sub-/24 result.
+                let seg = tbl_long.len() / 256;
+                assert!(seg < 1 << 15, "segment space exhausted");
+                let default = tbl24[base];
+                tbl_long.resize(tbl_long.len() + 256, default);
+                tbl24[base] = LONG_FLAG | seg as u16;
+                seg
+            };
+            let first = (e.prefix.bits() & 0xFF) as usize;
+            let count = 1usize << (32 - e.prefix.len());
+            let off = seg * 256 + first;
+            tbl_long[off..off + count].fill(nh);
+        }
+        Dir24_8 {
+            tbl24,
+            tbl_long,
+            routes: table.len(),
+        }
+    }
+
+    /// Number of 256-entry second-level segments.
+    pub fn segment_count(&self) -> usize {
+        self.tbl_long.len() / 256
+    }
+
+    /// Number of routes the structure was built from.
+    pub fn route_count(&self) -> usize {
+        self.routes
+    }
+}
+
+impl Lpm for Dir24_8 {
+    fn lookup_counted(&self, addr: u32) -> CountedLookup {
+        let e = self.tbl24[(addr >> 8) as usize];
+        if e & LONG_FLAG == 0 {
+            return CountedLookup {
+                next_hop: (e != MISS).then_some(NextHop(e)),
+                mem_accesses: 1,
+            };
+        }
+        let seg = (e & !LONG_FLAG) as usize;
+        let v = self.tbl_long[seg * 256 + (addr & 0xFF) as usize];
+        CountedLookup {
+            next_hop: (v != MISS).then_some(NextHop(v)),
+            mem_accesses: 2,
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // 2 bytes per entry at both levels, as published.
+        self.tbl24.len() * 2 + self.tbl_long.len() * 2
+    }
+
+    fn name(&self) -> &'static str {
+        "DIR-24-8"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spal_rib::{synth, RouteEntry};
+
+    fn table(prefixes: &[(&str, u16)]) -> RoutingTable {
+        RoutingTable::from_entries(prefixes.iter().map(|&(s, nh)| RouteEntry {
+            prefix: s.parse().unwrap(),
+            next_hop: NextHop(nh),
+        }))
+    }
+
+    #[test]
+    fn empty_table_misses() {
+        let d = Dir24_8::build(&RoutingTable::new());
+        assert_eq!(d.lookup(0), None);
+        assert_eq!(d.lookup_counted(0).mem_accesses, 1);
+        // The fixed 32 MB first level exists regardless (§2.1: "huge").
+        assert_eq!(d.storage_bytes(), 32 << 20);
+    }
+
+    #[test]
+    fn shallow_routes_single_access() {
+        let rt = table(&[("10.0.0.0/8", 1), ("10.1.0.0/16", 2)]);
+        let d = Dir24_8::build(&rt);
+        let c = d.lookup_counted(0x0A01_0203);
+        assert_eq!(c.next_hop, Some(NextHop(2)));
+        assert_eq!(c.mem_accesses, 1);
+        assert_eq!(d.segment_count(), 0);
+    }
+
+    #[test]
+    fn deep_routes_two_accesses_with_fallback() {
+        let rt = table(&[("10.1.2.0/24", 1), ("10.1.2.128/25", 2), ("10.1.2.7/32", 3)]);
+        let d = Dir24_8::build(&rt);
+        assert_eq!(d.lookup_counted(0x0A01_0207).next_hop, Some(NextHop(3)));
+        assert_eq!(d.lookup_counted(0x0A01_0207).mem_accesses, 2);
+        assert_eq!(d.lookup(0x0A01_0280), Some(NextHop(2)));
+        // Inside the /24 but outside the deeper routes: the seeded
+        // default applies.
+        assert_eq!(d.lookup(0x0A01_0210), Some(NextHop(1)));
+        assert_eq!(d.lookup(0x0A01_0300), None);
+        assert_eq!(d.segment_count(), 1);
+    }
+
+    #[test]
+    fn agrees_with_oracle() {
+        use rand::{Rng, SeedableRng};
+        let rt = synth::small(121);
+        let d = Dir24_8::build(&rt);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..400 {
+            let addr: u32 = rng.gen();
+            assert_eq!(
+                d.lookup(addr),
+                rt.longest_match(addr).map(|e| e.next_hop),
+                "addr {addr:#010x}"
+            );
+        }
+        for e in rt.entries().iter().step_by(11) {
+            for addr in [e.prefix.first_addr(), e.prefix.last_addr()] {
+                assert_eq!(d.lookup(addr), rt.longest_match(addr).map(|x| x.next_hop));
+            }
+        }
+    }
+
+    #[test]
+    fn storage_is_huge_as_section_2_1_says() {
+        let rt = synth::small(123);
+        let d = Dir24_8::build(&rt);
+        assert!(d.storage_bytes() > 32 << 20);
+        assert_eq!(d.route_count(), rt.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_next_hop_rejected() {
+        let rt = table(&[("10.0.0.0/8", 0x7FFF)]);
+        let _ = Dir24_8::build(&rt);
+    }
+}

@@ -1,0 +1,73 @@
+//! Longest-prefix-match (LPM) algorithms for the SPAL reproduction.
+//!
+//! The paper's forwarding engines run a software matching algorithm over a
+//! trie held in SRAM; §4 and §5.1 evaluate three published structures,
+//! all implemented here from scratch:
+//!
+//! * [`dp::DpTrie`] — the *dynamic prefix trie* of Doeringer, Karjoth &
+//!   Nassehi \[8\]: a path-compressed binary trie whose nodes carry one
+//!   index byte plus five 4-byte pointers (the 21 B/node storage model the
+//!   paper uses) and which averages ≈16 memory accesses per lookup.
+//! * [`lulea::LuleaTrie`] — the compressed 16/8/8 three-level structure of
+//!   Degermark et al. \[7\], with the genuine bit-vector + codeword +
+//!   base-index + maptable machinery, averaging ≈6–7 accesses per lookup.
+//! * [`lctrie::LcTrie`] — the level-compressed trie of Nilsson & Karlsson
+//!   \[12\] with a configurable fill factor (the paper uses 0.25).
+//! * [`binary::BinaryTrie`] — a plain bitwise trie used as the reference
+//!   implementation and for IPv6 (it is generic over address width).
+//!
+//! Every structure implements [`Lpm`], which exposes the two quantities
+//! the paper's experiments need besides the lookup result itself: the
+//! number of memory accesses the lookup performed and the storage the
+//! structure occupies under the paper's byte models.
+
+pub mod binary;
+pub mod dir24;
+pub mod dp;
+pub mod lctrie;
+pub mod lulea;
+pub mod model;
+pub mod multibit;
+
+use spal_rib::NextHop;
+
+/// Result of an instrumented lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountedLookup {
+    /// The longest-prefix-match result, if any route matched.
+    pub next_hop: Option<NextHop>,
+    /// Number of memory accesses the lookup performed (node reads, table
+    /// reads, next-hop-table read).
+    pub mem_accesses: u32,
+}
+
+/// A longest-prefix-match structure built from a routing table.
+pub trait Lpm {
+    /// Longest-prefix match for `addr`.
+    fn lookup(&self, addr: u32) -> Option<NextHop> {
+        self.lookup_counted(addr).next_hop
+    }
+
+    /// Longest-prefix match with a memory-access count, for the paper's
+    /// §5.1 access measurements and the FE timing model.
+    fn lookup_counted(&self, addr: u32) -> CountedLookup;
+
+    /// Bytes of SRAM the structure occupies under the paper's storage
+    /// models (§4).
+    fn storage_bytes(&self) -> usize;
+
+    /// Short human-readable algorithm name ("DP", "Lulea", "LC", …).
+    fn name(&self) -> &'static str;
+}
+
+/// Mean memory accesses per lookup over a set of addresses.
+pub fn mean_accesses<L: Lpm + ?Sized>(lpm: &L, addrs: &[u32]) -> f64 {
+    if addrs.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = addrs
+        .iter()
+        .map(|&a| lpm.lookup_counted(a).mem_accesses as u64)
+        .sum();
+    total as f64 / addrs.len() as f64
+}

@@ -1,0 +1,143 @@
+//! Plain-text routing-table serialisation.
+//!
+//! The format is one route per line: `PREFIX NEXT_HOP`, e.g.
+//! `10.0.0.0/8 3`. Blank lines and lines starting with `#` are ignored.
+//! This mirrors the simple dump formats BGP snapshot archives used, so real
+//! table files can be dropped in for the synthetic ones.
+
+use crate::prefix::{Prefix, PrefixError};
+use crate::table::{NextHop, RouteEntry, RoutingTable};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// An error while reading a table dump.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line; carries the 1-based line number and the problem.
+    Line { number: usize, message: String },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Line { number, message } => {
+                write!(f, "line {number}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+impl From<PrefixError> for String {
+    fn from(e: PrefixError) -> Self {
+        e.to_string()
+    }
+}
+
+/// Parse one `PREFIX NEXT_HOP` line (already trimmed, non-empty,
+/// non-comment).
+fn parse_line(line: &str) -> Result<RouteEntry, String> {
+    let mut parts = line.split_whitespace();
+    let prefix_str = parts.next().ok_or("missing prefix")?;
+    let nh_str = parts.next().ok_or("missing next hop")?;
+    if parts.next().is_some() {
+        return Err("trailing tokens".to_string());
+    }
+    let prefix: Prefix = prefix_str.parse().map_err(|e: PrefixError| e.to_string())?;
+    let nh: u16 = nh_str
+        .parse()
+        .map_err(|_| format!("bad next hop {nh_str:?}"))?;
+    Ok(RouteEntry {
+        prefix,
+        next_hop: NextHop(nh),
+    })
+}
+
+/// Read a routing table from any reader in the text format above.
+pub fn read_table<R: Read>(reader: R) -> Result<RoutingTable, ParseError> {
+    let reader = BufReader::new(reader);
+    let mut entries = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let entry = parse_line(line).map_err(|message| ParseError::Line {
+            number: idx + 1,
+            message,
+        })?;
+        entries.push(entry);
+    }
+    Ok(RoutingTable::from_entries(entries))
+}
+
+/// Parse a routing table from an in-memory string.
+pub fn parse_table(text: &str) -> Result<RoutingTable, ParseError> {
+    read_table(text.as_bytes())
+}
+
+/// Write a routing table in the text format above.
+pub fn write_table<W: Write>(table: &RoutingTable, mut writer: W) -> std::io::Result<()> {
+    let mut buf = String::new();
+    for entry in table {
+        buf.clear();
+        let _ = writeln!(buf, "{} {}", entry.prefix, entry.next_hop.0);
+        writer.write_all(buf.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Serialise a routing table to a string.
+pub fn table_to_string(table: &RoutingTable) -> String {
+    let mut out = Vec::new();
+    write_table(table, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let text = "10.0.0.0/8 1\n192.168.0.0/16 2\n0.0.0.0/0 0\n";
+        let table = parse_table(text).unwrap();
+        assert_eq!(table.len(), 3);
+        let again = parse_table(&table_to_string(&table)).unwrap();
+        assert_eq!(table.entries(), again.entries());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n  \n10.0.0.0/8 1\n# tail\n";
+        let table = parse_table(text).unwrap();
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn bad_lines_reported_with_number() {
+        let text = "10.0.0.0/8 1\nnot-a-route\n";
+        match parse_table(text).unwrap_err() {
+            ParseError::Line { number, .. } => assert_eq!(number, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_tokens_and_bad_next_hop() {
+        assert!(parse_table("10.0.0.0/8 1 extra").is_err());
+        assert!(parse_table("10.0.0.0/8 hop").is_err());
+        assert!(parse_table("10.0.0.0/99 1").is_err());
+    }
+}

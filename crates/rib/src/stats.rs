@@ -1,0 +1,165 @@
+//! Descriptive statistics over routing tables: prefix-length distribution
+//! and nesting structure. Used to validate that synthetic tables look like
+//! the backbone tables the paper references (refs 2, 11, 15).
+
+use crate::prefix::Prefix;
+use crate::table::RoutingTable;
+
+/// Per-length counts plus derived summary quantities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LengthDistribution {
+    /// `counts[l]` = number of prefixes of length `l`, for `l` in `0..=32`.
+    pub counts: [usize; 33],
+    /// Total number of prefixes.
+    pub total: usize,
+}
+
+impl LengthDistribution {
+    /// Compute the distribution of a table.
+    pub fn of(table: &RoutingTable) -> Self {
+        let mut counts = [0usize; 33];
+        for e in table {
+            counts[e.prefix.len() as usize] += 1;
+        }
+        LengthDistribution {
+            counts,
+            total: table.len(),
+        }
+    }
+
+    /// Fraction of prefixes whose length is `<= len`. The paper's §3.1
+    /// observes this exceeds 83 % at `len = 24` for backbone tables.
+    pub fn fraction_at_most(&self, len: u8) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n: usize = self.counts[..=len as usize].iter().sum();
+        n as f64 / self.total as f64
+    }
+
+    /// Fraction of prefixes of exactly `len` bits.
+    pub fn fraction_exact(&self, len: u8) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts[len as usize] as f64 / self.total as f64
+    }
+
+    /// The most common prefix length (ties broken toward shorter), or
+    /// `None` for an empty table. /24 dominates real backbone tables.
+    pub fn mode(&self) -> Option<u8> {
+        if self.total == 0 {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(l, _)| l as u8)
+    }
+
+    /// Mean prefix length.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: usize = self.counts.iter().enumerate().map(|(l, &c)| l * c).sum();
+        sum as f64 / self.total as f64
+    }
+}
+
+/// Nesting statistics: how many prefixes are more-specifics of another
+/// prefix in the same table ("prefix exceptions", §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NestingStats {
+    /// Prefixes contained in at least one strictly shorter prefix.
+    pub nested: usize,
+    /// Prefixes not covered by any other prefix.
+    pub roots: usize,
+    /// Maximum nesting depth (a root has depth 0).
+    pub max_depth: usize,
+}
+
+/// Compute nesting statistics. O(n log n + n · d) where `d` is the number
+/// of ancestors examined per prefix (≤ 32).
+pub fn nesting_stats(table: &RoutingTable) -> NestingStats {
+    use std::collections::HashSet;
+    let set: HashSet<Prefix> = table.prefixes().collect();
+    let mut nested = 0usize;
+    let mut roots = 0usize;
+    let mut max_depth = 0usize;
+    for p in table.prefixes() {
+        let mut depth = 0usize;
+        let mut cur = p;
+        while let Some(parent) = cur.parent() {
+            cur = parent;
+            if set.contains(&cur) {
+                depth += 1;
+            }
+        }
+        if depth > 0 {
+            nested += 1;
+        } else {
+            roots += 1;
+        }
+        max_depth = max_depth.max(depth);
+    }
+    NestingStats {
+        nested,
+        roots,
+        max_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{NextHop, RouteEntry};
+
+    fn table(prefixes: &[&str]) -> RoutingTable {
+        RoutingTable::from_entries(prefixes.iter().enumerate().map(|(i, s)| RouteEntry {
+            prefix: s.parse().unwrap(),
+            next_hop: NextHop(i as u16),
+        }))
+    }
+
+    #[test]
+    fn distribution_counts() {
+        let t = table(&["10.0.0.0/8", "10.1.0.0/16", "10.2.0.0/16", "1.2.3.0/24"]);
+        let d = LengthDistribution::of(&t);
+        assert_eq!(d.total, 4);
+        assert_eq!(d.counts[8], 1);
+        assert_eq!(d.counts[16], 2);
+        assert_eq!(d.counts[24], 1);
+        assert_eq!(d.mode(), Some(16));
+        assert!((d.fraction_at_most(16) - 0.75).abs() < 1e-12);
+        assert!((d.fraction_exact(24) - 0.25).abs() < 1e-12);
+        assert!((d.mean() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_empty() {
+        let d = LengthDistribution::of(&RoutingTable::new());
+        assert_eq!(d.mode(), None);
+        assert_eq!(d.fraction_at_most(32), 0.0);
+        assert_eq!(d.mean(), 0.0);
+    }
+
+    #[test]
+    fn nesting() {
+        let t = table(&["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "11.0.0.0/8"]);
+        let s = nesting_stats(&t);
+        assert_eq!(s.roots, 2);
+        assert_eq!(s.nested, 2);
+        assert_eq!(s.max_depth, 2);
+    }
+
+    #[test]
+    fn nesting_disjoint_table() {
+        let t = table(&["10.0.0.0/8", "11.0.0.0/8"]);
+        let s = nesting_stats(&t);
+        assert_eq!(s.roots, 2);
+        assert_eq!(s.nested, 0);
+        assert_eq!(s.max_depth, 0);
+    }
+}

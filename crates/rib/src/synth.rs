@@ -1,0 +1,257 @@
+//! Deterministic synthetic BGP routing tables.
+//!
+//! The paper evaluates on two tables: the FUNET table ("RT_1", 41,709
+//! prefixes) and an AS1221 snapshot ("RT_2", 140,838 prefixes). Neither
+//! file is available today, so [`rt1`] and [`rt2`] generate tables of
+//! exactly those sizes whose *shape* matches what was published about
+//! backbone tables of the era (and what the paper itself relies on):
+//!
+//! * a length distribution dominated by /24 (≈ 52 %), with well over 83 %
+//!   of prefixes of length ≤ 24 (§3.1 uses this to argue partitioning bits
+//!   should come from positions ≤ 24);
+//! * CIDR-style allocation: long prefixes cluster inside shorter
+//!   "aggregate" blocks, giving the nesting ("prefix exceptions") that
+//!   §2.2 argues defeats range-merging caches;
+//! * a number of /32 host routes, making the minimum range granularity 1.
+//!
+//! Generation is fully deterministic given a seed.
+
+use crate::prefix::Prefix;
+use crate::table::{NextHop, RouteEntry, RoutingTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Relative weight of each prefix length in the generated table, modelled
+/// on published backbone-table distributions circa 2003 (refs [2], [11],
+/// [15] of the paper). Index = prefix length.
+const LENGTH_WEIGHTS: [f64; 33] = [
+    0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, // 0-7
+    0.04, 0.03, 0.05, 0.09, 0.27, 0.55, 1.1, 1.8, // 8-15
+    10.5, 1.6, 3.2, 6.2, 4.6, 4.8, 6.8, 6.6,  // 16-23
+    52.0, // 24
+    0.30, 0.45, 0.35, 0.30, 0.40, 0.30, 0.02, 0.65, // 25-32
+];
+
+/// Configuration for the synthetic table generator.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of unique prefixes to produce.
+    pub target: usize,
+    /// RNG seed; same seed ⇒ identical table.
+    pub seed: u64,
+    /// Fraction of prefixes generated *inside* a previously generated
+    /// shorter prefix (CIDR aggregation / more-specifics). Backbone tables
+    /// show roughly half of all prefixes nested under another route.
+    pub nested_fraction: f64,
+    /// Number of distinct next hops to assign (the paper's routers have up
+    /// to 16 LCs; real tables resolve to a few dozen peers).
+    pub next_hops: u16,
+}
+
+impl SynthConfig {
+    /// A config with the given size and seed and paper-flavoured defaults.
+    pub fn sized(target: usize, seed: u64) -> Self {
+        SynthConfig {
+            target,
+            seed,
+            nested_fraction: 0.5,
+            next_hops: 32,
+        }
+    }
+}
+
+/// Sample a prefix length from the backbone distribution
+/// `LENGTH_WEIGHTS` — also used by the update-stream generator so
+/// churn keeps the table's length profile.
+pub fn sample_length(rng: &mut StdRng) -> u8 {
+    let total: f64 = LENGTH_WEIGHTS.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (len, &w) in LENGTH_WEIGHTS.iter().enumerate() {
+        if x < w {
+            return len as u8;
+        }
+        x -= w;
+    }
+    24 // numerically unreachable; the dominant length is a safe fallback
+}
+
+/// Generate a synthetic routing table.
+///
+/// The generator works in one pass: each new prefix is either *rooted*
+/// (random address in the unicast range, avoiding 0/8, 10/8, 127/8 and
+/// 224/3, as real tables do) or *nested* (drawn inside a randomly chosen
+/// earlier prefix that is at least 2 bits shorter). Duplicate prefixes are
+/// rejected and re-drawn, so the table has exactly `cfg.target` routes.
+pub fn synthesize(cfg: &SynthConfig) -> RoutingTable {
+    assert!(cfg.next_hops > 0, "need at least one next hop");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut seen: HashSet<Prefix> = HashSet::with_capacity(cfg.target * 2);
+    let mut entries: Vec<RouteEntry> = Vec::with_capacity(cfg.target);
+    // Aggregates usable as parents of nested prefixes (length <= 22).
+    let mut parents: Vec<Prefix> = Vec::new();
+
+    // CIDR allocation blocks: real tables concentrate announcements
+    // inside registry allocations rather than scattering them across the
+    // whole address space (this clustering is what keeps compressed-trie
+    // chunk counts low). Longer rooted prefixes are placed inside one of
+    // these blocks.
+    let n_blocks = (cfg.target / 64).clamp(16, 4096);
+    let alloc_blocks: Vec<Prefix> = (0..n_blocks)
+        .map(|_| {
+            let len = rng.gen_range(8..=14);
+            Prefix::new(random_unicast(&mut rng), len).expect("len <= 32")
+        })
+        .collect();
+
+    while entries.len() < cfg.target {
+        let len = sample_length(&mut rng);
+        let nested = !parents.is_empty() && len >= 10 && rng.gen_bool(cfg.nested_fraction);
+        let prefix = if nested {
+            let parent = parents[rng.gen_range(0..parents.len())];
+            if parent.len() + 2 > len {
+                continue; // parent not short enough for this length; redraw
+            }
+            // Random sub-block of the parent with the sampled length.
+            let extra =
+                rng.gen::<u32>() & !<u32 as crate::bits::AddressBits>::prefix_mask(parent.len());
+            Prefix::new(parent.bits() | extra, len).expect("len <= 32")
+        } else if len >= 15 {
+            // Rooted but inside a CIDR allocation block.
+            let block = alloc_blocks[rng.gen_range(0..alloc_blocks.len())];
+            let extra =
+                rng.gen::<u32>() & !<u32 as crate::bits::AddressBits>::prefix_mask(block.len());
+            Prefix::new(block.bits() | extra, len).expect("len <= 32")
+        } else {
+            let addr = random_unicast(&mut rng);
+            Prefix::new(addr, len).expect("len <= 32")
+        };
+        if !seen.insert(prefix) {
+            continue;
+        }
+        if prefix.len() <= 22 {
+            parents.push(prefix);
+        }
+        entries.push(RouteEntry {
+            prefix,
+            next_hop: NextHop(rng.gen_range(0..cfg.next_hops)),
+        });
+    }
+    RoutingTable::from_entries(entries)
+}
+
+/// A random address in the globally routable unicast space: first octet in
+/// 1..=223, excluding 10 (private) and 127 (loopback).
+fn random_unicast(rng: &mut StdRng) -> u32 {
+    loop {
+        let addr: u32 = rng.gen();
+        let first = (addr >> 24) as u8;
+        if (1..=223).contains(&first) && first != 10 && first != 127 {
+            return addr;
+        }
+    }
+}
+
+/// Number of prefixes in the paper's RT_1 (FUNET table, its ref 12).
+pub const RT1_SIZE: usize = 41_709;
+/// Number of prefixes in the paper's RT_2 (AS1221 snapshot, its ref 2).
+pub const RT2_SIZE: usize = 140_838;
+
+/// Synthetic stand-in for RT_1 (41,709 prefixes).
+pub fn rt1(seed: u64) -> RoutingTable {
+    synthesize(&SynthConfig::sized(RT1_SIZE, seed))
+}
+
+/// Synthetic stand-in for RT_2 (140,838 prefixes).
+pub fn rt2(seed: u64) -> RoutingTable {
+    synthesize(&SynthConfig::sized(RT2_SIZE, seed))
+}
+
+/// A small table (1,000 prefixes) for quick tests and examples.
+pub fn small(seed: u64) -> RoutingTable {
+    synthesize(&SynthConfig::sized(1_000, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{nesting_stats, LengthDistribution};
+
+    #[test]
+    fn exact_size_and_unique() {
+        let t = synthesize(&SynthConfig::sized(5_000, 7));
+        assert_eq!(t.len(), 5_000);
+        let set: HashSet<Prefix> = t.prefixes().collect();
+        assert_eq!(set.len(), 5_000);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = synthesize(&SynthConfig::sized(2_000, 42));
+        let b = synthesize(&SynthConfig::sized(2_000, 42));
+        assert_eq!(a.entries(), b.entries());
+        let c = synthesize(&SynthConfig::sized(2_000, 43));
+        assert_ne!(a.entries(), c.entries());
+    }
+
+    #[test]
+    fn length_distribution_matches_backbone_shape() {
+        let t = synthesize(&SynthConfig::sized(20_000, 1));
+        let d = LengthDistribution::of(&t);
+        // /24 dominates.
+        assert_eq!(d.mode(), Some(24));
+        assert!(d.fraction_exact(24) > 0.40, "got {}", d.fraction_exact(24));
+        // §3.1: "more than 83% … have length no more than 24".
+        assert!(d.fraction_at_most(24) > 0.83);
+        // A real tail of host routes exists (range granularity 1, §2.2).
+        assert!(d.counts[32] > 0);
+        // Nothing shorter than /8.
+        assert_eq!(d.counts[..8].iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn nesting_present() {
+        let t = synthesize(&SynthConfig::sized(10_000, 2));
+        let s = nesting_stats(&t);
+        // More-specifics are a substantial share, as in real tables.
+        assert!(
+            s.nested * 4 > t.len(),
+            "nested = {} of {}",
+            s.nested,
+            t.len()
+        );
+        assert!(s.max_depth >= 2);
+    }
+
+    #[test]
+    fn addresses_in_unicast_space() {
+        let t = synthesize(&SynthConfig::sized(3_000, 3));
+        for e in &t {
+            if e.prefix.len() >= 8 {
+                let first = (e.prefix.bits() >> 24) as u8;
+                assert!((1..=223).contains(&first), "bad first octet {first}");
+                assert!(first != 127);
+            }
+        }
+    }
+
+    #[test]
+    fn next_hops_within_range() {
+        let cfg = SynthConfig {
+            next_hops: 4,
+            ..SynthConfig::sized(1_000, 5)
+        };
+        let t = synthesize(&cfg);
+        assert!(t.next_hop_count() <= 4);
+        for e in &t {
+            assert!(e.next_hop.0 < 4);
+        }
+    }
+
+    #[test]
+    fn rt_sizes_match_paper() {
+        // Generating the full tables is cheap enough for a unit test.
+        assert_eq!(rt1(0).len(), RT1_SIZE);
+        assert_eq!(rt2(0).len(), RT2_SIZE);
+    }
+}

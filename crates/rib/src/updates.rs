@@ -1,0 +1,151 @@
+//! Synthetic BGP update streams.
+//!
+//! §3.2 of the paper models the consequence of table updates (an
+//! LR-cache flush per update, 20–100 updates/s); this module provides
+//! the updates themselves — announce/withdraw/re-announce events with
+//! realistic proportions — so incremental structures (the DP trie, the
+//! binary trie) can be exercised against a rebuilt-from-scratch oracle.
+
+use crate::prefix::Prefix;
+use crate::table::{NextHop, RouteEntry, RoutingTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One routing update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Update {
+    /// Announce (or re-announce with a new next hop) a route.
+    Announce(RouteEntry),
+    /// Withdraw the route for a prefix.
+    Withdraw(Prefix),
+}
+
+/// Configuration of the update generator.
+#[derive(Debug, Clone)]
+pub struct UpdateStreamConfig {
+    /// Number of updates to generate.
+    pub count: usize,
+    /// Probability an update withdraws an existing route (the rest are
+    /// announcements; roughly half of those re-announce an existing
+    /// prefix with a new next hop, as BGP churn mostly does).
+    pub withdraw_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UpdateStreamConfig {
+    fn default() -> Self {
+        UpdateStreamConfig {
+            count: 1_000,
+            withdraw_fraction: 0.3,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate an update stream against `base`. The stream is *consistent*:
+/// withdrawals only target prefixes present at that point, and the
+/// returned final table reflects all updates applied in order.
+pub fn update_stream(base: &RoutingTable, cfg: &UpdateStreamConfig) -> (Vec<Update>, RoutingTable) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut live: Vec<RouteEntry> = base.entries().to_vec();
+    let mut updates = Vec::with_capacity(cfg.count);
+    for _ in 0..cfg.count {
+        let withdraw = !live.is_empty() && rng.gen_bool(cfg.withdraw_fraction);
+        if withdraw {
+            let i = rng.gen_range(0..live.len());
+            let e = live.swap_remove(i);
+            updates.push(Update::Withdraw(e.prefix));
+        } else if !live.is_empty() && rng.gen_bool(0.5) {
+            // Re-announce an existing prefix with a new next hop.
+            let i = rng.gen_range(0..live.len());
+            let nh = NextHop(rng.gen_range(0..32));
+            live[i].next_hop = nh;
+            updates.push(Update::Announce(live[i]));
+        } else {
+            // A brand-new (or previously withdrawn) prefix, drawn from
+            // the backbone length distribution so churn preserves the
+            // table's shape (real announcements are /24-heavy).
+            let len = crate::synth::sample_length(&mut rng);
+            let prefix = Prefix::new(rng.gen(), len).expect("len <= 32");
+            let entry = RouteEntry {
+                prefix,
+                next_hop: NextHop(rng.gen_range(0..32)),
+            };
+            match live.iter_mut().find(|e| e.prefix == prefix) {
+                Some(e) => e.next_hop = entry.next_hop,
+                None => live.push(entry),
+            }
+            updates.push(Update::Announce(entry));
+        }
+    }
+    (updates, RoutingTable::from_entries(live))
+}
+
+/// Apply an update to a routing table (the oracle path).
+pub fn apply(table: &mut RoutingTable, update: Update) {
+    match update {
+        Update::Announce(e) => table.insert(e),
+        Update::Withdraw(p) => {
+            table.remove(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn stream_is_consistent_with_final_table() {
+        let base = synth::small(3);
+        let (updates, fin) = update_stream(&base, &UpdateStreamConfig::default());
+        assert_eq!(updates.len(), 1_000);
+        let mut table = base.clone();
+        for &u in &updates {
+            apply(&mut table, u);
+        }
+        assert_eq!(table.entries(), fin.entries());
+    }
+
+    #[test]
+    fn withdrawals_target_live_prefixes() {
+        let base = synth::small(5);
+        let (updates, _) = update_stream(&base, &UpdateStreamConfig::default());
+        let mut live: std::collections::HashSet<Prefix> = base.prefixes().collect();
+        for &u in &updates {
+            match u {
+                Update::Announce(e) => {
+                    live.insert(e.prefix);
+                }
+                Update::Withdraw(p) => {
+                    assert!(live.remove(&p), "withdrew a dead prefix {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let base = synth::small(7);
+        let cfg = UpdateStreamConfig::default();
+        let (a, fa) = update_stream(&base, &cfg);
+        let (b, fb) = update_stream(&base, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(fa.entries(), fb.entries());
+    }
+
+    #[test]
+    fn withdraw_fraction_zero_only_announces() {
+        let base = synth::small(9);
+        let cfg = UpdateStreamConfig {
+            withdraw_fraction: 0.0,
+            count: 200,
+            seed: 1,
+        };
+        let (updates, fin) = update_stream(&base, &cfg);
+        assert!(updates.iter().all(|u| matches!(u, Update::Announce(_))));
+        assert!(fin.len() >= base.len());
+    }
+}

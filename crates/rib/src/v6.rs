@@ -1,0 +1,278 @@
+//! IPv6 prefixes and tables.
+//!
+//! The paper's conclusion argues SPAL "is feasibly applicable to IPv6" and
+//! that SRAM savings grow several-fold under 128-bit addressing. This
+//! module provides the 128-bit analogue of [`crate::Prefix`] /
+//! [`crate::RoutingTable`], enough for the partitioner and the binary trie
+//! (both generic over [`crate::AddressBits`]) to run IPv6 experiments.
+
+use crate::bits::{AddressBits, TriBit};
+use crate::table::NextHop;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::fmt;
+
+/// An IPv6 prefix in canonical form (bits beyond `len` are zero).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix6 {
+    bits: u128,
+    len: u8,
+}
+
+// `len` is a bit count, not a container length; `is_empty` is meaningless.
+#[allow(clippy::len_without_is_empty)]
+impl Prefix6 {
+    /// The `::/0` default route.
+    pub const DEFAULT: Prefix6 = Prefix6 { bits: 0, len: 0 };
+
+    /// Construct, canonicalising the bits. Errors if `len > 128`.
+    pub fn new(bits: u128, len: u8) -> Result<Self, crate::PrefixError> {
+        if len > 128 {
+            return Err(crate::PrefixError::LengthOutOfRange(len));
+        }
+        Ok(Prefix6 {
+            bits: bits & u128::prefix_mask(len),
+            len,
+        })
+    }
+
+    /// The canonical prefix bits.
+    #[inline]
+    pub fn bits(self) -> u128 {
+        self.bits
+    }
+
+    /// The prefix length.
+    #[inline]
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the default route.
+    #[inline]
+    pub fn is_default(self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `addr` lies inside this prefix.
+    #[inline]
+    pub fn matches(self, addr: u128) -> bool {
+        addr & u128::prefix_mask(self.len) == self.bits
+    }
+
+    /// Tri-state value of bit `i` (0 = MSB), `*` beyond the length.
+    #[inline]
+    pub fn tri_bit(self, i: u8) -> TriBit {
+        assert!(i < 128, "bit index {i} out of range");
+        if i >= self.len {
+            TriBit::Wild
+        } else if self.bits.bit(i) {
+            TriBit::One
+        } else {
+            TriBit::Zero
+        }
+    }
+
+    /// Whether this prefix contains `other`.
+    #[inline]
+    pub fn contains(self, other: Prefix6) -> bool {
+        self.len <= other.len && other.bits & u128::prefix_mask(self.len) == self.bits
+    }
+}
+
+impl crate::bits::IpPrefix for Prefix6 {
+    type Addr = u128;
+
+    #[inline]
+    fn len(self) -> u8 {
+        Prefix6::len(self)
+    }
+
+    #[inline]
+    fn tri_bit(self, i: u8) -> TriBit {
+        Prefix6::tri_bit(self, i)
+    }
+
+    #[inline]
+    fn matches(self, addr: u128) -> bool {
+        Prefix6::matches(self, addr)
+    }
+}
+
+impl fmt::Debug for Prefix6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Prefix6({self})")
+    }
+}
+
+impl fmt::Display for Prefix6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Full (non-compressed) colon-hex form; adequate for diagnostics.
+        let groups: Vec<String> = (0..8)
+            .map(|g| format!("{:x}", (self.bits >> (112 - 16 * g)) as u16))
+            .collect();
+        write!(f, "{}/{}", groups.join(":"), self.len)
+    }
+}
+
+/// One IPv6 route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry6 {
+    pub prefix: Prefix6,
+    pub next_hop: NextHop,
+}
+
+/// A minimal IPv6 routing table with a linear reference matcher.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable6 {
+    entries: Vec<RouteEntry6>,
+}
+
+impl RoutingTable6 {
+    /// Build from entries; duplicate prefixes keep the last next hop.
+    pub fn from_entries(entries: impl IntoIterator<Item = RouteEntry6>) -> Self {
+        let mut map = std::collections::HashMap::new();
+        for e in entries {
+            map.insert(e.prefix, e.next_hop);
+        }
+        let mut entries: Vec<RouteEntry6> = map
+            .into_iter()
+            .map(|(prefix, next_hop)| RouteEntry6 { prefix, next_hop })
+            .collect();
+        entries.sort_by_key(|e| (e.prefix.bits(), e.prefix.len()));
+        RoutingTable6 { entries }
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The routes.
+    pub fn entries(&self) -> &[RouteEntry6] {
+        &self.entries
+    }
+
+    /// Reference longest-prefix match, O(n).
+    pub fn longest_match(&self, addr: u128) -> Option<RouteEntry6> {
+        self.entries
+            .iter()
+            .filter(|e| e.prefix.matches(addr))
+            .max_by_key(|e| e.prefix.len())
+            .copied()
+    }
+}
+
+/// Generate a synthetic IPv6 table: global-unicast (2000::/3) allocations
+/// with lengths clustered at /32 (LIR), /48 (site) and /64 (subnet),
+/// mirroring early-IPv6 allocation policy.
+pub fn synthesize6(target: usize, seed: u64) -> RoutingTable6 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<Prefix6> = HashSet::with_capacity(target * 2);
+    let mut entries = Vec::with_capacity(target);
+    const LENGTHS: [(u8, f64); 6] = [
+        (24, 0.03),
+        (32, 0.35),
+        (40, 0.07),
+        (48, 0.40),
+        (56, 0.05),
+        (64, 0.10),
+    ];
+    while entries.len() < target {
+        let mut x = rng.gen_range(0.0..1.0);
+        let mut len = 48u8;
+        for (l, w) in LENGTHS {
+            if x < w {
+                len = l;
+                break;
+            }
+            x -= w;
+        }
+        // Global unicast: top 3 bits = 001.
+        let addr = (rng.gen::<u128>() >> 3) | (0b001u128 << 125);
+        let prefix = Prefix6::new(addr, len).expect("len <= 128");
+        if seen.insert(prefix) {
+            entries.push(RouteEntry6 {
+                prefix,
+                next_hop: NextHop(rng.gen_range(0..32)),
+            });
+        }
+    }
+    RoutingTable6::from_entries(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_canonicalises() {
+        let p = Prefix6::new(u128::MAX, 32).unwrap();
+        assert_eq!(p.bits(), 0xFFFF_FFFFu128 << 96);
+        assert!(Prefix6::new(0, 129).is_err());
+    }
+
+    #[test]
+    fn matching_and_containment() {
+        let p = Prefix6::new(0x2001_0db8u128 << 96, 32).unwrap();
+        assert!(p.matches(0x2001_0db8u128 << 96 | 42));
+        assert!(!p.matches(0x2001_0db9u128 << 96));
+        let q = Prefix6::new(0x2001_0db8_0001u128 << 80, 48).unwrap();
+        assert!(p.contains(q));
+        assert!(!q.contains(p));
+        assert!(Prefix6::DEFAULT.contains(p));
+        assert!(Prefix6::DEFAULT.is_default());
+    }
+
+    #[test]
+    fn tri_bits() {
+        let p = Prefix6::new(1u128 << 127, 1).unwrap();
+        assert_eq!(p.tri_bit(0), TriBit::One);
+        assert_eq!(p.tri_bit(1), TriBit::Wild);
+    }
+
+    #[test]
+    fn display() {
+        let p = Prefix6::new(0x2001_0db8u128 << 96, 32).unwrap();
+        assert_eq!(p.to_string(), "2001:db8:0:0:0:0:0:0/32");
+    }
+
+    #[test]
+    fn synth_size_and_determinism() {
+        let a = synthesize6(500, 9);
+        assert_eq!(a.len(), 500);
+        let b = synthesize6(500, 9);
+        assert_eq!(a.entries(), b.entries());
+        // All in global unicast space.
+        for e in a.entries() {
+            assert_eq!(e.prefix.bits() >> 125, 0b001);
+        }
+    }
+
+    #[test]
+    fn longest_match_reference() {
+        let p32 = Prefix6::new(0x2001_0db8u128 << 96, 32).unwrap();
+        let p48 = Prefix6::new(0x2001_0db8_0001u128 << 80, 48).unwrap();
+        let t = RoutingTable6::from_entries([
+            RouteEntry6 {
+                prefix: p32,
+                next_hop: NextHop(1),
+            },
+            RouteEntry6 {
+                prefix: p48,
+                next_hop: NextHop(2),
+            },
+        ]);
+        let inside48 = 0x2001_0db8_0001u128 << 80 | 7;
+        let inside32 = 0x2001_0db8_0002u128 << 80;
+        assert_eq!(t.longest_match(inside48).unwrap().next_hop, NextHop(2));
+        assert_eq!(t.longest_match(inside32).unwrap().next_hop, NextHop(1));
+        assert!(t.longest_match(0x3000u128 << 112).is_none());
+    }
+}

@@ -1,0 +1,32 @@
+//! Cycle-driven simulation of SPAL-based and baseline routers (§5).
+//!
+//! The simulator advances a global 5 ns clock and models, per line card
+//! and per cycle, exactly the machinery of Fig. 2:
+//!
+//! * a packet generator saturating the LC's link (uniform 2–18 cycle
+//!   gaps at 40 Gbps, 6–74 at 10 Gbps), destinations supplied by a trace;
+//! * one LR-cache probe per cycle, fed FIFO from the merged input queue
+//!   (local arrivals plus requests arriving over the fabric);
+//! * early cache-block recording: a miss reserves a W-bit entry so
+//!   same-address followers park on its waiting list instead of
+//!   re-issuing work;
+//! * a forwarding engine that serves one lookup at a time at a fixed
+//!   cost (40 cycles for the Lulea trie, 62 for the DP trie — §5.1's
+//!   model) from a FIFO request queue;
+//! * outgoing/incoming queues and a constant-latency switching fabric
+//!   with one injection per source and one delivery per destination per
+//!   cycle.
+//!
+//! Three router kinds share the loop: the full SPAL design, the
+//! cache-only router of ref \[6\] (caches but no partitioning, no
+//! sharing), and the conventional router (no caches at all).
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod report;
+
+pub use config::{FeServiceModel, RouterKind, SimConfig};
+pub use engine::RouterSim;
+pub use metrics::LatencyStats;
+pub use report::{LcReport, SimReport};

@@ -1,0 +1,175 @@
+//! Latency accounting for completed lookups.
+
+/// Streaming latency statistics (cycles), with a coarse histogram for
+/// percentiles. One lookup = the time from a packet's arrival at its LC
+/// until its next hop is known at that LC; an immediate cache hit costs
+/// one cycle.
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    count: u64,
+    sum: u64,
+    max: u64,
+    /// `buckets[c]` counts lookups of exactly `c` cycles for `c < 1024`;
+    /// the overflow bucket collects the rest.
+    buckets: Vec<u64>,
+    overflow: u64,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        LatencyStats {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: vec![0; 1024],
+            overflow: 0,
+        }
+    }
+
+    /// Record one lookup latency in cycles.
+    pub fn record(&mut self, cycles: u64) {
+        self.count += 1;
+        self.sum += cycles;
+        self.max = self.max.max(cycles);
+        if (cycles as usize) < self.buckets.len() {
+            self.buckets[cycles as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of recorded lookups.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in cycles.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) from the histogram; latencies in the
+    /// overflow bucket report as `max`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (c, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return c as u64;
+            }
+        }
+        self.max
+    }
+
+    /// Lookups per second per LC implied by the mean latency on 5 ns
+    /// cycles — the quantity behind the paper's "21 million packets per
+    /// second for each LC".
+    pub fn lookups_per_second(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            1.0 / (m * 5e-9)
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_max_count() {
+        let mut s = LatencyStats::new();
+        for c in [1u64, 1, 1, 41] {
+            s.record(c);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 11.0).abs() < 1e-12);
+        assert_eq!(s.max(), 41);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut s = LatencyStats::new();
+        for c in 1..=100u64 {
+            s.record(c);
+        }
+        assert_eq!(s.quantile(0.5), 50);
+        assert_eq!(s.quantile(0.99), 99);
+        assert_eq!(s.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn overflow_bucket() {
+        let mut s = LatencyStats::new();
+        s.record(5000);
+        s.record(1);
+        assert_eq!(s.max(), 5000);
+        assert_eq!(s.quantile(1.0), 5000);
+        assert!((s.mean() - 2500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookups_per_second_inversion() {
+        let mut s = LatencyStats::new();
+        // Mean 9.2 cycles → > 21 Mpps (the paper's headline arithmetic).
+        for _ in 0..4 {
+            s.record(9);
+        }
+        s.record(10);
+        let lps = s.lookups_per_second();
+        assert!(lps > 21e6, "{lps}");
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyStats::new();
+        a.record(1);
+        let mut b = LatencyStats::new();
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = LatencyStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.lookups_per_second(), 0.0);
+    }
+}

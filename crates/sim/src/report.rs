@@ -1,0 +1,129 @@
+//! Simulation results.
+
+use crate::metrics::LatencyStats;
+use spal_cache::CacheStats;
+use spal_fabric::FabricStats;
+
+/// Per-line-card results.
+#[derive(Debug, Clone)]
+pub struct LcReport {
+    /// Line-card index.
+    pub lc: usize,
+    /// Packets generated (and completed) at this LC.
+    pub packets: u64,
+    /// LR-cache statistics (all zeros for the conventional router).
+    pub cache: CacheStats,
+    /// Lookups the local FE executed (local packets + remote requests).
+    pub fe_lookups: u64,
+    /// Cycles the FE spent busy.
+    pub fe_busy_cycles: u64,
+    /// High-water mark of the FE request queue.
+    pub fe_queue_high_water: usize,
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-packet lookup latency over all LCs, in cycles.
+    pub latency: LatencyStats,
+    /// Per-LC breakdown.
+    pub per_lc: Vec<LcReport>,
+    /// Fabric statistics (zeros unless the SPAL router ran).
+    pub fabric: FabricStats,
+    /// Total simulated cycles until the last packet completed.
+    pub cycles: u64,
+}
+
+impl SimReport {
+    /// Mean lookup time in cycles — the paper's primary metric.
+    pub fn mean_lookup_cycles(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Aggregate cache hit rate across LCs.
+    pub fn hit_rate(&self) -> f64 {
+        let mut hits = 0u64;
+        let mut probes = 0u64;
+        for lc in &self.per_lc {
+            hits += lc.cache.hits_loc + lc.cache.hits_rem + lc.cache.hits_waiting;
+            probes += lc.cache.probes();
+        }
+        if probes == 0 {
+            0.0
+        } else {
+            hits as f64 / probes as f64
+        }
+    }
+
+    /// Router-wide forwarding rate in packets per second: ψ LCs, each
+    /// forwarding at the rate its mean lookup time allows (the §5.2
+    /// arithmetic behind "over 336 million packets per second").
+    pub fn router_packets_per_second(&self) -> f64 {
+        self.latency.lookups_per_second() * self.per_lc.len() as f64
+    }
+
+    /// Mean FE utilisation across LCs (busy cycles / total cycles).
+    pub fn fe_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.per_lc.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.per_lc.iter().map(|l| l.fe_busy_cycles).sum();
+        busy as f64 / (self.cycles as f64 * self.per_lc.len() as f64)
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "mean {:.2} cycles | p99 {} | hit rate {:.3} | {:.1} Mpps router-wide | FE util {:.2}",
+            self.mean_lookup_cycles(),
+            self.latency.quantile(0.99),
+            self.hit_rate(),
+            self.router_packets_per_second() / 1e6,
+            self.fe_utilization(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(mean_cycles: u64, lcs: usize) -> SimReport {
+        let mut latency = LatencyStats::new();
+        latency.record(mean_cycles);
+        SimReport {
+            latency,
+            per_lc: (0..lcs)
+                .map(|lc| LcReport {
+                    lc,
+                    packets: 1,
+                    cache: CacheStats::default(),
+                    fe_lookups: 0,
+                    fe_busy_cycles: 10,
+                    fe_queue_high_water: 0,
+                })
+                .collect(),
+            fabric: FabricStats::default(),
+            cycles: 100,
+        }
+    }
+
+    #[test]
+    fn router_rate_scales_with_psi() {
+        let r = report_with(10, 16);
+        // 10 cycles = 50 ns → 20 Mpps per LC → 320 Mpps router-wide.
+        assert!((r.router_packets_per_second() - 320e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fe_utilization_math() {
+        let r = report_with(10, 4);
+        assert!((r.fe_utilization() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_formats() {
+        let s = report_with(10, 2).summary();
+        assert!(s.contains("mean 10.00 cycles"));
+    }
+}

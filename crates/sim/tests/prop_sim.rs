@@ -1,0 +1,83 @@
+//! Property tests for the cycle simulator: conservation (every generated
+//! packet completes exactly once), fabric message balance, and
+//! determinism — across arbitrary small configurations.
+
+use proptest::prelude::*;
+use spal_cache::LrCacheConfig;
+use spal_rib::synth;
+use spal_sim::{FeServiceModel, RouterKind, RouterSim, SimConfig};
+use spal_traffic::{preset, PresetName, TracePreset};
+
+fn arb_kind() -> impl Strategy<Value = RouterKind> {
+    prop_oneof![Just(RouterKind::Spal), Just(RouterKind::CacheOnly)]
+}
+
+proptest! {
+    // Each case runs a small simulation; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conservation_and_balance(
+        kind in arb_kind(),
+        psi in 1usize..=5,
+        blocks_exp in 5u32..=9, // 32..512 blocks
+        fe in prop::sample::select(vec![10u32, 40, 62]),
+        early in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let table = synth::synthesize(&synth::SynthConfig::sized(1_500, 13));
+        let p = TracePreset { distinct: 800, ..preset(PresetName::D75) };
+        let packets = 1_500usize;
+        let traces = p.generate(&table, packets * psi, seed).split(psi);
+        let config = SimConfig {
+            kind,
+            psi,
+            fe: FeServiceModel::Fixed(fe),
+            cache: LrCacheConfig {
+                blocks: (1usize << blocks_exp),
+                ..LrCacheConfig::default()
+            },
+            packets_per_lc: packets,
+            early_recording: early,
+            seed,
+            ..SimConfig::default()
+        };
+        let report = RouterSim::new(&table, &traces, config).run();
+        // Conservation: every packet completed exactly once.
+        prop_assert_eq!(report.latency.count(), (packets * psi) as u64);
+        let per_lc_total: u64 = report.per_lc.iter().map(|l| l.packets).sum();
+        prop_assert_eq!(per_lc_total, (packets * psi) as u64);
+        // Fabric balance: everything sent was delivered.
+        prop_assert_eq!(report.fabric.sent, report.fabric.delivered);
+        if kind == RouterKind::CacheOnly {
+            prop_assert_eq!(report.fabric.sent, 0);
+        }
+        // Latency floor: nothing completes in zero cycles.
+        prop_assert!(report.latency.quantile(0.0001) >= 1);
+        // FE accounting: busy cycles = lookups x fixed cost.
+        for lc in &report.per_lc {
+            prop_assert_eq!(lc.fe_busy_cycles, lc.fe_lookups * fe as u64);
+        }
+    }
+
+    #[test]
+    fn determinism(seed in 0u64..200, psi in 1usize..=3) {
+        let table = synth::synthesize(&synth::SynthConfig::sized(800, 17));
+        let p = TracePreset { distinct: 400, ..preset(PresetName::L92_0) };
+        let traces = p.generate(&table, 1_000 * psi, seed).split(psi);
+        let mk = || SimConfig {
+            kind: RouterKind::Spal,
+            psi,
+            cache: LrCacheConfig { blocks: 128, ..LrCacheConfig::default() },
+            packets_per_lc: 1_000,
+            seed,
+            ..SimConfig::default()
+        };
+        let a = RouterSim::new(&table, &traces, mk()).run();
+        let b = RouterSim::new(&table, &traces, mk()).run();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.latency.count(), b.latency.count());
+        prop_assert!((a.mean_lookup_cycles() - b.mean_lookup_cycles()).abs() < 1e-12);
+        prop_assert_eq!(a.fabric.sent, b.fabric.sent);
+    }
+}

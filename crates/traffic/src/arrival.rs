@@ -1,0 +1,122 @@
+//! Packet arrival processes — §5.1 of the paper.
+//!
+//! Given an LC speed (after link aggregation) of 10 or 40 Gbps, packets
+//! of varying length arrive so that the link is saturated on average,
+//! with mean packet length 256 B and minimum 40 B. On the 5 ns system
+//! cycle that works out to one packet every 2–18 cycles (uniform) at
+//! 40 Gbps and every 6–74 cycles at 10 Gbps, which is exactly the model
+//! implemented here.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Line-card link speed after aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LcSpeed {
+    /// 10 Gbps (e.g. aggregated OC-48s / 10GbE).
+    Gbps10,
+    /// 40 Gbps (OC-768).
+    Gbps40,
+}
+
+impl LcSpeed {
+    /// Inclusive range of inter-arrival gaps in cycles (§5.1).
+    pub fn gap_range(self) -> (u64, u64) {
+        match self {
+            LcSpeed::Gbps40 => (2, 18),
+            LcSpeed::Gbps10 => (6, 74),
+        }
+    }
+
+    /// Mean inter-arrival gap in cycles.
+    pub fn mean_gap(self) -> f64 {
+        let (lo, hi) = self.gap_range();
+        (lo + hi) as f64 / 2.0
+    }
+
+    /// Mean offered load in packets per second (5 ns cycles).
+    pub fn packets_per_second(self) -> f64 {
+        1.0 / (self.mean_gap() * 5e-9)
+    }
+}
+
+/// Generates successive packet arrival times for one LC.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    speed: LcSpeed,
+    next_at: u64,
+}
+
+impl ArrivalProcess {
+    /// Start a process whose first packet arrives at cycle 0.
+    pub fn new(speed: LcSpeed) -> Self {
+        ArrivalProcess { speed, next_at: 0 }
+    }
+
+    /// The configured speed.
+    pub fn speed(&self) -> LcSpeed {
+        self.speed
+    }
+
+    /// Cycle at which the next packet arrives (without consuming it).
+    pub fn peek(&self) -> u64 {
+        self.next_at
+    }
+
+    /// Consume the pending arrival and schedule the one after it.
+    pub fn advance(&mut self, rng: &mut StdRng) -> u64 {
+        let now = self.next_at;
+        let (lo, hi) = self.speed.gap_range();
+        self.next_at = now + rng.gen_range(lo..=hi);
+        now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gap_ranges_match_paper() {
+        assert_eq!(LcSpeed::Gbps40.gap_range(), (2, 18));
+        assert_eq!(LcSpeed::Gbps10.gap_range(), (6, 74));
+        assert!((LcSpeed::Gbps40.mean_gap() - 10.0).abs() < 1e-12);
+        assert!((LcSpeed::Gbps10.mean_gap() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_rate_consistency() {
+        // 256-byte packets at 40 Gbps: 40e9/(256·8) ≈ 19.5 Mpps; the
+        // 10-cycle mean gap gives 20 Mpps. Same ballpark by construction.
+        assert!((LcSpeed::Gbps40.packets_per_second() - 20e6).abs() < 1e-3);
+        assert!((LcSpeed::Gbps10.packets_per_second() - 5e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_in_range() {
+        let mut p = ArrivalProcess::new(LcSpeed::Gbps40);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut prev = p.advance(&mut rng);
+        assert_eq!(prev, 0);
+        for _ in 0..1000 {
+            let next = p.advance(&mut rng);
+            let gap = next - prev;
+            assert!((2..=18).contains(&gap), "gap {gap}");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn mean_gap_converges() {
+        let mut p = ArrivalProcess::new(LcSpeed::Gbps10);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let mut last = 0;
+        for _ in 0..n {
+            last = p.advance(&mut rng);
+        }
+        let mean = last as f64 / (n - 1) as f64;
+        assert!((39.0..41.0).contains(&mean), "mean gap {mean}");
+    }
+}

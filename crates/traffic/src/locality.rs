@@ -1,0 +1,251 @@
+//! Popularity and temporal-locality models for destination addresses.
+//!
+//! IP destination popularity is heavily skewed — the paper cites \[9\]:
+//! a small share of flows (≈9 %) carries most traffic (≈90 %). A Zipf
+//! distribution over a pool of distinct destinations captures that, and a
+//! geometric "packet train" overlay captures flow-level burstiness (a few
+//! consecutive packets to the same destination).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Walker's alias method: O(n) construction, O(1) sampling from an
+/// arbitrary discrete distribution. Used for Zipf popularity over pools
+/// of up to a few hundred thousand destinations.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (not necessarily normalised).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: everything remaining keeps probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index.
+    #[inline]
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+/// How destination addresses repeat over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LocalityModel {
+    /// Independent draws from a Zipf(`alpha`) popularity distribution
+    /// (the independent reference model).
+    Zipf { alpha: f64 },
+    /// Zipf draws, but with probability `burst_prob` the previous
+    /// destination is repeated, giving geometric packet trains with mean
+    /// length `1 / (1 - burst_prob)` — flow-level locality.
+    ZipfBursty { alpha: f64, burst_prob: f64 },
+}
+
+impl LocalityModel {
+    /// The Zipf exponent.
+    pub fn alpha(self) -> f64 {
+        match self {
+            LocalityModel::Zipf { alpha } | LocalityModel::ZipfBursty { alpha, .. } => alpha,
+        }
+    }
+
+    /// Zipf rank weights for a pool of `n` destinations.
+    pub fn weights(self, n: usize) -> Vec<f64> {
+        let alpha = self.alpha();
+        (1..=n).map(|k| (k as f64).powf(-alpha)).collect()
+    }
+}
+
+/// A stateful generator of destination indexes into a pool.
+#[derive(Debug, Clone)]
+pub struct LocalitySampler {
+    table: AliasTable,
+    model: LocalityModel,
+    last: Option<usize>,
+}
+
+impl LocalitySampler {
+    /// Build a sampler over a pool of `n` destinations.
+    pub fn new(model: LocalityModel, n: usize) -> Self {
+        LocalitySampler {
+            table: AliasTable::new(&model.weights(n)),
+            model,
+            last: None,
+        }
+    }
+
+    /// Draw the next destination index.
+    pub fn next_index(&mut self, rng: &mut StdRng) -> usize {
+        if let LocalityModel::ZipfBursty { burst_prob, .. } = self.model {
+            if let Some(last) = self.last {
+                if rng.gen::<f64>() < burst_prob {
+                    return last;
+                }
+            }
+        }
+        let idx = self.table.sample(rng);
+        self.last = Some(idx);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn alias_uniform_weights() {
+        let t = AliasTable::new(&[1.0; 4]);
+        let mut counts = [0usize; 4];
+        let mut r = rng();
+        for _ in 0..40_000 {
+            counts[t.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn alias_skewed_weights() {
+        let t = AliasTable::new(&[8.0, 1.0, 1.0]);
+        let mut counts = [0usize; 3];
+        let mut r = rng();
+        for _ in 0..50_000 {
+            counts[t.sample(&mut r)] += 1;
+        }
+        // Outcome 0 has 80 % mass.
+        assert!(counts[0] > 38_000, "counts {counts:?}");
+        assert!(counts[1] > 3_500 && counts[2] > 3_500);
+    }
+
+    #[test]
+    fn alias_single_outcome() {
+        let t = AliasTable::new(&[3.0]);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn alias_rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn alias_rejects_zero_mass() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_mass_concentrates() {
+        // With alpha = 1.2 over 10_000 outcomes, the top 100 ranks should
+        // carry well over half the mass.
+        let model = LocalityModel::Zipf { alpha: 1.2 };
+        let mut s = LocalitySampler::new(model, 10_000);
+        let mut r = rng();
+        let mut top = 0usize;
+        let n = 50_000;
+        for _ in 0..n {
+            if s.next_index(&mut r) < 100 {
+                top += 1;
+            }
+        }
+        assert!(
+            top as f64 / n as f64 > 0.55,
+            "top share {}",
+            top as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn bursts_repeat_destinations() {
+        let model = LocalityModel::ZipfBursty {
+            alpha: 1.0,
+            burst_prob: 0.5,
+        };
+        let mut s = LocalitySampler::new(model, 100_000);
+        let mut r = rng();
+        let mut repeats = 0usize;
+        let mut prev = s.next_index(&mut r);
+        let n = 20_000;
+        for _ in 0..n {
+            let cur = s.next_index(&mut r);
+            if cur == prev {
+                repeats += 1;
+            }
+            prev = cur;
+        }
+        // Roughly half the packets continue the current train; the pool
+        // is large enough that accidental repeats are negligible.
+        let rate = repeats as f64 / n as f64;
+        assert!((0.4..0.6).contains(&rate), "repeat rate {rate}");
+    }
+
+    #[test]
+    fn weights_are_monotone() {
+        let w = LocalityModel::Zipf { alpha: 1.0 }.weights(5);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[4] - 0.2).abs() < 1e-12);
+    }
+}

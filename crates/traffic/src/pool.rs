@@ -1,0 +1,201 @@
+//! Pools of distinct destination addresses drawn from a routing table's
+//! covered space.
+//!
+//! A trace's destinations must actually resolve against the forwarding
+//! tables (real traces are collected on networks whose routes exist), so
+//! pool addresses are sampled *inside* randomly chosen routes. Sampling
+//! routes uniformly (rather than by address-space size) concentrates
+//! destinations in the short, numerous /24s exactly as production traffic
+//! concentrates in allocated, announced space.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spal_rib::RoutingTable;
+use std::collections::HashSet;
+
+/// A set of distinct destination addresses.
+#[derive(Debug, Clone)]
+pub struct AddressPool {
+    addrs: Vec<u32>,
+}
+
+impl AddressPool {
+    /// Draw `size` distinct addresses covered by `table`, plus
+    /// `uncovered_fraction` of the pool (rounded down) drawn anywhere in
+    /// the address space (traffic that will miss the routing table).
+    ///
+    /// # Panics
+    /// Panics if the table is empty but covered addresses are requested.
+    pub fn covered(table: &RoutingTable, size: usize, uncovered_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&uncovered_fraction),
+            "uncovered fraction must be in [0, 1]"
+        );
+        let n_uncovered = (size as f64 * uncovered_fraction) as usize;
+        let n_covered = size - n_uncovered;
+        assert!(
+            n_covered == 0 || !table.is_empty(),
+            "cannot draw covered addresses from an empty table"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen: HashSet<u32> = HashSet::with_capacity(size * 2);
+        let mut addrs = Vec::with_capacity(size);
+        while addrs.len() < n_covered {
+            let e = table.entries()[rng.gen_range(0..table.len())];
+            let span = e.prefix.size();
+            let addr = e
+                .prefix
+                .first_addr()
+                .wrapping_add((rng.gen::<u64>() % span) as u32);
+            if seen.insert(addr) {
+                addrs.push(addr);
+            }
+        }
+        while addrs.len() < size {
+            let addr: u32 = rng.gen();
+            if !table.covers(addr) && seen.insert(addr) {
+                addrs.push(addr);
+            }
+        }
+        // Shuffle so Zipf rank is independent of how the address was
+        // drawn (covered/uncovered, early/late route).
+        for i in (1..addrs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            addrs.swap(i, j);
+        }
+        AddressPool { addrs }
+    }
+
+    /// Like [`AddressPool::covered`], but spatially *clustered*: routes
+    /// are drawn `size / cluster` times and `cluster` distinct addresses
+    /// are taken inside each, modelling many hosts per active subnet
+    /// (the spatial density that range-caching schemes such as ref \[6\]
+    /// exploit).
+    ///
+    /// # Panics
+    /// Panics if `cluster` is zero or the table is empty.
+    pub fn covered_clustered(table: &RoutingTable, size: usize, cluster: usize, seed: u64) -> Self {
+        assert!(cluster > 0, "cluster size must be positive");
+        assert!(!table.is_empty(), "cannot draw from an empty table");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen: HashSet<u32> = HashSet::with_capacity(size * 2);
+        let mut addrs = Vec::with_capacity(size);
+        while addrs.len() < size {
+            let e = table.entries()[rng.gen_range(0..table.len())];
+            let span = e.prefix.size();
+            let want = cluster.min(size - addrs.len()).min(span as usize);
+            let mut placed = 0;
+            let mut attempts = 0;
+            while placed < want && attempts < want * 8 {
+                attempts += 1;
+                let addr = e
+                    .prefix
+                    .first_addr()
+                    .wrapping_add((rng.gen::<u64>() % span) as u32);
+                if seen.insert(addr) {
+                    addrs.push(addr);
+                    placed += 1;
+                }
+            }
+        }
+        for i in (1..addrs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            addrs.swap(i, j);
+        }
+        AddressPool { addrs }
+    }
+
+    /// A pool of exactly the given addresses (deduplicated, order kept).
+    pub fn from_addresses(addrs: impl IntoIterator<Item = u32>) -> Self {
+        let mut seen = HashSet::new();
+        let addrs = addrs.into_iter().filter(|a| seen.insert(*a)).collect();
+        AddressPool { addrs }
+    }
+
+    /// The addresses, in Zipf-rank order (index 0 is the most popular).
+    pub fn addresses(&self) -> &[u32] {
+        &self.addrs
+    }
+
+    /// Number of distinct destinations.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spal_rib::synth;
+
+    #[test]
+    fn covered_addresses_resolve() {
+        let rt = synth::small(1);
+        let pool = AddressPool::covered(&rt, 500, 0.0, 7);
+        assert_eq!(pool.len(), 500);
+        for &a in pool.addresses() {
+            assert!(rt.covers(a), "{a:#010x} not covered");
+        }
+    }
+
+    #[test]
+    fn uncovered_fraction_respected() {
+        let rt = synth::small(1);
+        let pool = AddressPool::covered(&rt, 400, 0.25, 7);
+        let uncovered = pool.addresses().iter().filter(|&&a| !rt.covers(a)).count();
+        assert_eq!(uncovered, 100);
+    }
+
+    #[test]
+    fn distinct_addresses() {
+        let rt = synth::small(2);
+        let pool = AddressPool::covered(&rt, 1000, 0.1, 9);
+        let set: HashSet<u32> = pool.addresses().iter().copied().collect();
+        assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let rt = synth::small(3);
+        let a = AddressPool::covered(&rt, 200, 0.0, 5);
+        let b = AddressPool::covered(&rt, 200, 0.0, 5);
+        assert_eq!(a.addresses(), b.addresses());
+        let c = AddressPool::covered(&rt, 200, 0.0, 6);
+        assert_ne!(a.addresses(), c.addresses());
+    }
+
+    #[test]
+    fn clustered_pool_is_spatially_dense() {
+        let rt = synth::small(7);
+        let pool = AddressPool::covered_clustered(&rt, 800, 8, 3);
+        assert_eq!(pool.len(), 800);
+        // Distinctness preserved.
+        let set: HashSet<u32> = pool.addresses().iter().copied().collect();
+        assert_eq!(set.len(), 800);
+        // Density: many pairs share a /24.
+        let mut subnets: HashSet<u32> = HashSet::new();
+        for &a in pool.addresses() {
+            subnets.insert(a >> 8);
+        }
+        assert!(
+            subnets.len() * 2 < 800,
+            "only {} distinct /24s for 800 addrs",
+            subnets.len()
+        );
+        // All covered.
+        for &a in pool.addresses() {
+            assert!(rt.covers(a));
+        }
+    }
+
+    #[test]
+    fn from_addresses_dedups() {
+        let pool = AddressPool::from_addresses([1, 2, 2, 3, 1]);
+        assert_eq!(pool.addresses(), &[1, 2, 3]);
+    }
+}

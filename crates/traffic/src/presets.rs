@@ -1,0 +1,178 @@
+//! Named trace presets standing in for the five public traces the paper
+//! simulates (§5.1–5.2).
+//!
+//! Each preset fixes a distinct-destination count and a locality model so
+//! that the five synthetic traces spread across the locality range the
+//! real ones span: L_92-0 is the paper's best-behaved curve (lowest mean
+//! lookup time in Figs. 4–6) and B_L the worst. The absolute parameters
+//! are calibrated so a 4K-block LR-cache lands in the >0.9 hit-rate band
+//! reported by the paper's references \[5, 6\] for 1998/2002 traffic.
+
+use crate::locality::LocalityModel;
+use crate::pool::AddressPool;
+use crate::trace::Trace;
+use spal_rib::RoutingTable;
+
+/// The five trace identities used throughout §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PresetName {
+    /// WorldCup98, July 9 1998.
+    D75,
+    /// WorldCup98, July 15 1998.
+    D81,
+    /// Abilene-I, segment 0.
+    L92_0,
+    /// Abilene-I, segment 1.
+    L92_1,
+    /// Bell Labs-I.
+    BL,
+}
+
+impl PresetName {
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PresetName::D75 => "D_75",
+            PresetName::D81 => "D_81",
+            PresetName::L92_0 => "L_92-0",
+            PresetName::L92_1 => "L_92-1",
+            PresetName::BL => "B_L",
+        }
+    }
+}
+
+/// All five presets, in the paper's legend order.
+pub const ALL_PRESETS: [PresetName; 5] = [
+    PresetName::D75,
+    PresetName::D81,
+    PresetName::L92_0,
+    PresetName::L92_1,
+    PresetName::BL,
+];
+
+/// Generation parameters of one preset.
+#[derive(Debug, Clone, Copy)]
+pub struct TracePreset {
+    pub name: PresetName,
+    /// Distinct destination addresses in the pool.
+    pub distinct: usize,
+    /// Temporal-locality model.
+    pub model: LocalityModel,
+    /// Base RNG seed (combined with the caller's seed).
+    pub seed: u64,
+}
+
+/// Parameters for one named preset.
+pub fn preset(name: PresetName) -> TracePreset {
+    // Burstiness (packet trains) models flow locality on top of Zipf
+    // popularity; higher alpha / fewer distinct destinations = more
+    // cacheable. Order of curves matches the paper: L_92-0 best, B_L
+    // worst.
+    // Distinct counts are calibrated against the paper's 300,000-packet
+    // per-LC windows: a 4K-block LR-cache must land in the >0.9 hit-rate
+    // band of refs [5, 6], with B_L the least cacheable trace.
+    match name {
+        PresetName::D75 => TracePreset {
+            name,
+            distinct: 20_000,
+            model: LocalityModel::ZipfBursty {
+                alpha: 1.2,
+                burst_prob: 0.40,
+            },
+            seed: 0xD75,
+        },
+        PresetName::D81 => TracePreset {
+            name,
+            distinct: 28_000,
+            model: LocalityModel::ZipfBursty {
+                alpha: 1.15,
+                burst_prob: 0.40,
+            },
+            seed: 0xD81,
+        },
+        PresetName::L92_0 => TracePreset {
+            name,
+            distinct: 10_000,
+            model: LocalityModel::ZipfBursty {
+                alpha: 1.3,
+                burst_prob: 0.50,
+            },
+            seed: 0x920,
+        },
+        PresetName::L92_1 => TracePreset {
+            name,
+            distinct: 14_000,
+            model: LocalityModel::ZipfBursty {
+                alpha: 1.25,
+                burst_prob: 0.45,
+            },
+            seed: 0x921,
+        },
+        PresetName::BL => TracePreset {
+            name,
+            distinct: 32_000,
+            model: LocalityModel::ZipfBursty {
+                alpha: 1.12,
+                burst_prob: 0.35,
+            },
+            seed: 0xB1,
+        },
+    }
+}
+
+impl TracePreset {
+    /// Generate this preset's trace over a routing table: `len` packets
+    /// whose destinations are covered by the table.
+    pub fn generate(&self, table: &RoutingTable, len: usize, seed: u64) -> Trace {
+        let pool = AddressPool::covered(table, self.distinct, 0.0, self.seed ^ seed);
+        Trace::generate(
+            self.name.label(),
+            &pool,
+            self.model,
+            len,
+            self.seed.rotate_left(17) ^ seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spal_rib::synth;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(preset(PresetName::D75).name.label(), "D_75");
+        assert_eq!(preset(PresetName::BL).name.label(), "B_L");
+        assert_eq!(ALL_PRESETS.len(), 5);
+    }
+
+    #[test]
+    fn locality_ordering() {
+        // L_92-0 must be the most cacheable, B_L the least: fewer
+        // distinct destinations and a higher alpha.
+        let l92 = preset(PresetName::L92_0);
+        let bl = preset(PresetName::BL);
+        assert!(l92.distinct < bl.distinct);
+        assert!(l92.model.alpha() > bl.model.alpha());
+    }
+
+    #[test]
+    fn generation_works_and_is_deterministic() {
+        let rt = synth::synthesize(&synth::SynthConfig::sized(5_000, 2));
+        let p = preset(PresetName::L92_0);
+        // Pool size may exceed what a small table can host distinctly;
+        // use a preset-sized table in real experiments. Shrink here.
+        let small = TracePreset {
+            distinct: 2_000,
+            ..p
+        };
+        let a = small.generate(&rt, 10_000, 42);
+        let b = small.generate(&rt, 10_000, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10_000);
+        for &d in a.destinations().iter().take(100) {
+            assert!(rt.covers(d));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Destination-address traces: containers, generation, per-LC stream
+//! splitting, and a simple text format.
+
+use crate::locality::{LocalityModel, LocalitySampler};
+use crate::pool::AddressPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A sequence of packet destination addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    dests: Vec<u32>,
+}
+
+impl Trace {
+    /// Wrap a destination sequence.
+    pub fn new(name: impl Into<String>, dests: Vec<u32>) -> Self {
+        Trace {
+            name: name.into(),
+            dests,
+        }
+    }
+
+    /// Generate `len` destinations from a pool under a locality model.
+    pub fn generate(
+        name: impl Into<String>,
+        pool: &AddressPool,
+        model: LocalityModel,
+        len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            !pool.is_empty(),
+            "cannot generate a trace from an empty pool"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sampler = LocalitySampler::new(model, pool.len());
+        let addrs = pool.addresses();
+        let dests = (0..len)
+            .map(|_| addrs[sampler.next_index(&mut rng)])
+            .collect();
+        Trace::new(name, dests)
+    }
+
+    /// The trace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The destination sequence.
+    pub fn destinations(&self) -> &[u32] {
+        &self.dests
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dests.is_empty()
+    }
+
+    /// Number of distinct destinations.
+    pub fn distinct(&self) -> usize {
+        let mut v = self.dests.clone();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// Split into `n` per-LC streams round-robin, as if `n` links tapped
+    /// the same backbone flow (§5.1 feeds every LC its own stream).
+    pub fn split(&self, n: usize) -> Vec<Trace> {
+        assert!(n >= 1, "need at least one stream");
+        let mut streams: Vec<Vec<u32>> = vec![Vec::with_capacity(self.len() / n + 1); n];
+        for (i, &d) in self.dests.iter().enumerate() {
+            streams[i % n].push(d);
+        }
+        streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, dests)| Trace::new(format!("{}#{}", self.name, i), dests))
+            .collect()
+    }
+
+    /// Write one dotted-quad destination per line.
+    pub fn write_text<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let mut buf = String::new();
+        for &d in &self.dests {
+            buf.clear();
+            let b = d.to_be_bytes();
+            buf.push_str(&format!("{}.{}.{}.{}\n", b[0], b[1], b[2], b[3]));
+            w.write_all(buf.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Read a trace from the text format (`a.b.c.d` per line; blanks and
+    /// `#` comments skipped).
+    pub fn read_text<R: Read>(name: impl Into<String>, r: R) -> std::io::Result<Trace> {
+        let mut dests = Vec::new();
+        for line in BufReader::new(r).lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut octets = [0u8; 4];
+            let mut n = 0;
+            for part in line.split('.') {
+                if n >= 4 {
+                    return Err(bad_line(line));
+                }
+                octets[n] = part.parse().map_err(|_| bad_line(line))?;
+                n += 1;
+            }
+            if n != 4 {
+                return Err(bad_line(line));
+            }
+            dests.push(u32::from_be_bytes(octets));
+        }
+        Ok(Trace::new(name, dests))
+    }
+}
+
+fn bad_line(line: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("bad trace line {line:?}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spal_rib::synth;
+
+    fn small_trace() -> Trace {
+        let rt = synth::small(4);
+        let pool = AddressPool::covered(&rt, 100, 0.0, 1);
+        Trace::generate("t", &pool, LocalityModel::Zipf { alpha: 1.0 }, 1000, 2)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_trace();
+        let b = small_trace();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+        assert!(a.distinct() <= 100);
+    }
+
+    #[test]
+    fn split_round_robin() {
+        let t = Trace::new("x", vec![1, 2, 3, 4, 5]);
+        let s = t.split(2);
+        assert_eq!(s[0].destinations(), &[1, 3, 5]);
+        assert_eq!(s[1].destinations(), &[2, 4]);
+        assert_eq!(s[0].name(), "x#0");
+    }
+
+    #[test]
+    fn split_one_is_identity() {
+        let t = Trace::new("x", vec![9, 8, 7]);
+        let s = t.split(1);
+        assert_eq!(s[0].destinations(), t.destinations());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = Trace::new("x", vec![0x0A000001, 0xC0A80001, 0]);
+        let mut buf = Vec::new();
+        t.write_text(&mut buf).unwrap();
+        assert_eq!(
+            String::from_utf8(buf.clone()).unwrap(),
+            "10.0.0.1\n192.168.0.1\n0.0.0.0\n"
+        );
+        let back = Trace::read_text("x", buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(Trace::read_text("x", "1.2.3\n".as_bytes()).is_err());
+        assert!(Trace::read_text("x", "1.2.3.4.5\n".as_bytes()).is_err());
+        assert!(Trace::read_text("x", "hello\n".as_bytes()).is_err());
+        // Comments and blanks are fine.
+        let t = Trace::read_text("x", "# c\n\n1.2.3.4\n".as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn zipf_trace_has_locality() {
+        // The generated trace's most common destination should appear far
+        // more often than 1/distinct of the time.
+        let t = small_trace();
+        let mut counts = std::collections::HashMap::new();
+        for &d in t.destinations() {
+            *counts.entry(d).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 3 * t.len() / 100, "max count {max}");
+    }
+}

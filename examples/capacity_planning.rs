@@ -1,0 +1,85 @@
+//! Capacity planning: the workload from the paper's introduction — a
+//! backbone operator sizing line cards for a growing BGP table. Given a
+//! target forwarding rate, find the smallest LR-cache that reaches it,
+//! and show the SRAM budget per LC with and without SPAL.
+//!
+//! Run: `cargo run --release --example capacity_planning`
+
+use spal::cache::LrCacheConfig;
+use spal::core::bits::{eta_for, select_bits};
+use spal::core::partition::Partitioning;
+use spal::core::{ForwardingTable, LpmAlgorithm};
+use spal::lpm::Lpm;
+use spal::rib::synth;
+use spal::sim::{RouterKind, RouterSim, SimConfig};
+use spal::traffic::{preset, PresetName};
+
+fn main() {
+    let table = synth::rt2(0xB0B); // 140,838 prefixes
+    let psi = 16;
+    let packets_per_lc = 100_000;
+    let target_mpps_per_lc = 21.0; // the paper's headline per-LC rate
+
+    println!(
+        "planning a {psi}-LC router over {} prefixes; target {target_mpps_per_lc} Mpps/LC\n",
+        table.len()
+    );
+
+    // SRAM per LC: whole trie vs SPAL partition (Lulea).
+    let whole = ForwardingTable::build(LpmAlgorithm::Lulea, &table).storage_bytes();
+    let bits = select_bits(&table, eta_for(psi));
+    let part = Partitioning::new(&table, bits, psi);
+    let max_part = part
+        .forwarding_tables(&table)
+        .iter()
+        .map(|t| ForwardingTable::build(LpmAlgorithm::Lulea, t).storage_bytes())
+        .max()
+        .expect("psi >= 1");
+    println!(
+        "trie SRAM per LC  (whole table): {:>8.1} KB",
+        whole as f64 / 1024.0
+    );
+    println!(
+        "trie SRAM per LC (SPAL, psi=16): {:>8.1} KB",
+        max_part as f64 / 1024.0
+    );
+
+    // Sweep the LR-cache size until the target rate is met.
+    println!("\nbeta     mean-cycles  Mpps/LC  SRAM/LC(trie+cache) KB  meets target");
+    let trace = preset(PresetName::D81).generate(&table, psi * packets_per_lc, 11);
+    let traces = trace.split(psi);
+    let mut recommended = None;
+    for beta in [512usize, 1024, 2048, 4096, 8192] {
+        let config = SimConfig {
+            kind: RouterKind::Spal,
+            psi,
+            cache: LrCacheConfig::paper(beta),
+            packets_per_lc,
+            seed: 11,
+            ..SimConfig::default()
+        };
+        let report = RouterSim::new(&table, &traces, config).run();
+        let mpps = report.latency.lookups_per_second() / 1e6;
+        let sram_kb = (max_part + beta * 6) as f64 / 1024.0;
+        let ok = mpps >= target_mpps_per_lc;
+        if ok && recommended.is_none() {
+            recommended = Some((beta, mpps, sram_kb));
+        }
+        println!(
+            "{:>5}  {:>11.2}  {:>7.1}  {:>22.1}  {}",
+            beta,
+            report.mean_lookup_cycles(),
+            mpps,
+            sram_kb,
+            if ok { "yes" } else { "no" }
+        );
+    }
+    match recommended {
+        Some((beta, mpps, sram)) => println!(
+            "\nrecommendation: beta = {beta} blocks -> {mpps:.1} Mpps/LC with {sram:.1} KB SRAM/LC \
+             ({:.0} Mpps router-wide)",
+            mpps * psi as f64
+        ),
+        None => println!("\nno cache size met the target; increase psi or beta"),
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: build a SPAL router over a synthetic BGP table and watch
+//! the §3.3 lookup flows happen.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use spal::cache::LrCacheConfig;
+use spal::core::{LookupOutcome, LpmAlgorithm, SpalRouter, SpalRouterConfig};
+use spal::rib::synth;
+
+fn main() {
+    // A 10,000-prefix routing table (deterministic; seed 42).
+    let table = synth::synthesize(&synth::SynthConfig::sized(10_000, 42));
+    println!("routing table: {} prefixes", table.len());
+
+    // A 4-LC SPAL router running the Lulea trie with 4K-block LR-caches.
+    let config = SpalRouterConfig {
+        psi: 4,
+        algorithm: LpmAlgorithm::Lulea,
+        cache: LrCacheConfig::paper(4096),
+    };
+    let mut router = SpalRouter::build(&table, &config);
+    println!(
+        "partitioning bits: {:?} (chosen by the Sec. 3.1 criteria)",
+        router.partitioning().bits()
+    );
+
+    // Pick an address that is homed at LC 2 and look it up from LC 0.
+    let addr = table
+        .entries()
+        .iter()
+        .map(|e| e.prefix.first_addr())
+        .find(|&a| router.partitioning().home_of(a) == 2)
+        .expect("some address homes at LC 2");
+    println!(
+        "address {} homes at LC {}",
+        spal::rib::prefix::format_addr(addr),
+        router.partitioning().home_of(addr)
+    );
+
+    let steps = [
+        ("first lookup from LC 0", 0u16),
+        ("second lookup from LC 0", 0),
+        ("first lookup from LC 1", 1),
+        ("lookup from the home LC 2", 2),
+    ];
+    for (what, lc) in steps {
+        let (nh, outcome) = router.lookup(lc, addr);
+        let explain = match outcome {
+            LookupOutcome::LocalCacheHit => "hit in this LC's LR-cache (1 cycle)",
+            LookupOutcome::LocalFeLookup => "local FE ran the matching algorithm (~40 cycles)",
+            LookupOutcome::RemoteCacheHit => {
+                "home LC's LR-cache answered over the fabric (~6 cycles)"
+            }
+            LookupOutcome::RemoteFeLookup => "home FE ran the matching algorithm (~45 cycles)",
+        };
+        println!("{what}: next hop {:?} — {explain}", nh.map(|h| h.0));
+    }
+
+    println!(
+        "\nFE lookups per LC: {:?} (the home FE worked exactly once)",
+        router.fe_lookups()
+    );
+    println!(
+        "fabric requests: {} (later lookups were served from caches)",
+        router.fabric_requests()
+    );
+
+    // A routing update flushes every LR-cache (Sec. 3.2).
+    router.flush_caches();
+    let (_, outcome) = router.lookup(0, addr);
+    println!("after a table-update flush, LC 0 lookup is a {outcome:?} again");
+}

@@ -1,0 +1,87 @@
+//! Table partitioning in detail: the §3.1 bit-selection criteria on the
+//! paper's own worked example, then on a backbone-scale table with a
+//! non-power-of-two number of line cards (ψ = 6).
+//!
+//! Run: `cargo run --release --example table_partitioning`
+
+use spal::core::bits::{eta_for, score_table, select_bits};
+use spal::core::partition::{rot_partitions, Partitioning};
+use spal::rib::parse::parse_table;
+use spal::rib::synth;
+
+fn main() {
+    // The paper's 8-bit toy prefixes P1..P7, embedded in the top octet
+    // (101* => 160.0.0.0/3, and so on), written in the text table format.
+    let toy = parse_table(
+        "160.0.0.0/3 1\n\
+         176.0.0.0/4 2\n\
+         64.0.0.0/2 3\n\
+         56.0.0.0/6 4\n\
+         147.0.0.0/8 5\n\
+         152.0.0.0/5 6\n\
+         100.0.0.0/6 7\n",
+    )
+    .expect("toy table parses");
+
+    println!("== paper's Sec. 3.1 example ==");
+    let scores = score_table(&toy, 7);
+    println!("bit  phi*  |phi0-phi1|  max-subset");
+    for s in &scores {
+        println!(
+            "b{:<3} {:>4} {:>11} {:>11}",
+            s.bit, s.phi_star, s.imbalance, s.max_size
+        );
+    }
+    let bits = select_bits(&toy, 2);
+    let parts = rot_partitions(&toy, &bits);
+    println!(
+        "chosen bits {:?} -> partition sizes {:?} (paper: {{b0, b4}} -> {{2,2,3,3}})",
+        bits,
+        parts.iter().map(|p| p.len()).collect::<Vec<_>>()
+    );
+
+    println!("\n== backbone table, psi = 6 (not a power of two) ==");
+    let table = synth::synthesize(&synth::SynthConfig::sized(30_000, 99));
+    let psi = 6;
+    let eta = eta_for(psi); // 3 bits -> 8 groups onto 6 LCs
+    let bits = select_bits(&table, eta);
+    let part = Partitioning::new(&table, bits.clone(), psi);
+    let stats = part.stats(&table);
+    println!(
+        "table: {} prefixes; bits {:?} ({eta} bits, {} groups)",
+        table.len(),
+        bits,
+        part.groups()
+    );
+    println!(
+        "per-LC tables: min {} / max {} prefixes, replication overhead {:.2}%",
+        stats.min_size,
+        stats.max_size,
+        stats.replication_overhead() * 100.0
+    );
+
+    // Show where a few concrete destinations are homed.
+    println!("\nexample homes:");
+    for e in table.entries().iter().step_by(table.len() / 5).take(5) {
+        let addr = e.prefix.first_addr();
+        println!(
+            "  {} -> home LC {}",
+            spal::rib::prefix::format_addr(addr),
+            part.home_of(addr)
+        );
+    }
+
+    // The home LC's partition always yields the full-table answer.
+    let tables = part.forwarding_tables(&table);
+    let mut checked = 0;
+    for e in table.entries().iter().step_by(37) {
+        let addr = e.prefix.last_addr();
+        let home = part.home_of(addr) as usize;
+        assert_eq!(
+            tables[home].longest_match(addr).map(|m| m.next_hop),
+            table.longest_match(addr).map(|m| m.next_hop)
+        );
+        checked += 1;
+    }
+    println!("\nverified {checked} addresses: home-LC lookup == full-table lookup");
+}

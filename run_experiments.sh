@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerate every paper table/figure. ~15-30 min on a laptop-class box.
+set -e
+cd "$(dirname "$0")"
+cargo build --release -p spal-bench
+for exp in exp_partitioning exp_storage exp_fig3_sram exp_accesses \
+           exp_fig4_mix exp_fig5_cache_size exp_fig6_scaling exp_headline \
+           exp_length_partition exp_speed_cases exp_ablations exp_update_rate \
+           exp_range_cache exp_worst_case exp_strides exp_growth exp_mixed_traces \
+           exp_overload; do
+  echo "=== $exp ==="
+  ./target/release/$exp "$@" | tee results/$exp.txt
+done

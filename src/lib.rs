@@ -1,0 +1,20 @@
+//! # SPAL — Speedy Packet Lookup for High-Performance Routers
+//!
+//! Facade crate re-exporting the whole SPAL reproduction workspace.
+//! See the individual crates for detail:
+//!
+//! * [`rib`] — prefixes, routing tables, synthetic BGP tables
+//! * [`lpm`] — longest-prefix-match tries (binary, DP, Lulea, LC-trie)
+//! * [`cache`] — the LR-cache (set-associative, mix-aware, victim cache)
+//! * [`fabric`] — switching-fabric latency/bandwidth models
+//! * [`traffic`] — trace presets and packet arrival processes
+//! * [`core`] — partition-bit selection, ROT-partitions, router config
+//! * [`sim`] — the cycle-driven router simulator
+
+pub use spal_cache as cache;
+pub use spal_core as core;
+pub use spal_fabric as fabric;
+pub use spal_lpm as lpm;
+pub use spal_rib as rib;
+pub use spal_sim as sim;
+pub use spal_traffic as traffic;

@@ -1,0 +1,127 @@
+//! Property tests aimed at the subtlest machinery: dense/very-dense
+//! Lulea chunks (rarely produced by uniform random tables), the interval
+//! map's boundary arithmetic, and the Fenwick-tree reuse-distance
+//! profiler.
+
+use proptest::prelude::*;
+use spal::core::baseline::{interval_map, interval_of};
+use spal::lpm::{lulea::LuleaTrie, Lpm};
+use spal::rib::{NextHop, Prefix, RouteEntry, RoutingTable};
+use spal::traffic::analysis::ReuseProfile;
+use spal::traffic::Trace;
+
+/// Tables concentrated under a single /16 so level-2/3 chunks go dense:
+/// many /24s and /32s with few distinct next hops (head runs form and
+/// break unpredictably).
+fn arb_dense_table() -> impl Strategy<Value = RoutingTable> {
+    (
+        proptest::collection::btree_set((0u32..256, 0u16..4), 1..120), // /24s
+        proptest::collection::btree_set((0u32..65536, 0u16..4), 0..80), // /32s
+        proptest::option::of(0u16..4),                                 // /16 cover
+    )
+        .prop_map(|(deep24, deep32, cover)| {
+            let base = 0x0A01_0000u32; // 10.1.0.0
+            let mut entries = Vec::new();
+            if let Some(nh) = cover {
+                entries.push(RouteEntry {
+                    prefix: Prefix::new(base, 16).unwrap(),
+                    next_hop: NextHop(nh),
+                });
+            }
+            for (third, nh) in deep24 {
+                entries.push(RouteEntry {
+                    prefix: Prefix::new(base | (third << 8), 24).unwrap(),
+                    next_hop: NextHop(nh),
+                });
+            }
+            for (low, nh) in deep32 {
+                entries.push(RouteEntry {
+                    prefix: Prefix::new(base | low, 32).unwrap(),
+                    next_hop: NextHop(nh),
+                });
+            }
+            RoutingTable::from_entries(entries)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lulea_handles_dense_chunks(
+        table in arb_dense_table(),
+        lows in proptest::collection::vec(0u32..65536, 32),
+    ) {
+        let trie = LuleaTrie::build(&table);
+        let base = 0x0A01_0000u32;
+        for low in lows {
+            let addr = base | low;
+            prop_assert_eq!(
+                trie.lookup(addr),
+                table.longest_match(addr).map(|e| e.next_hop),
+                "addr {:#010x}", addr
+            );
+        }
+        // Boundary probes: just inside/outside the /16.
+        for addr in [base, base | 0xFFFF, base.wrapping_sub(1), base + 0x1_0000] {
+            prop_assert_eq!(
+                trie.lookup(addr),
+                table.longest_match(addr).map(|e| e.next_hop)
+            );
+        }
+    }
+
+    #[test]
+    fn interval_map_partitions_space(
+        routes in proptest::collection::vec((any::<u32>(), 0u8..=32, 0u16..8), 1..40),
+        probes in proptest::collection::vec(any::<u32>(), 16),
+    ) {
+        let table = RoutingTable::from_entries(routes.into_iter().map(|(b, l, nh)| RouteEntry {
+            prefix: Prefix::new(b, l).unwrap(),
+            next_hop: NextHop(nh),
+        }));
+        let map = interval_map(&table);
+        // Exact partition of the space.
+        prop_assert_eq!(map[0].start, 0);
+        prop_assert_eq!(map.last().unwrap().end, u32::MAX);
+        for w in map.windows(2) {
+            prop_assert_eq!(w[0].end as u64 + 1, w[1].start as u64);
+            prop_assert_ne!(w[0].next_hop, w[1].next_hop); // maximally merged
+        }
+        // Values match the oracle at probes and at every boundary.
+        let mut all: Vec<u32> = probes;
+        for iv in &map {
+            all.push(iv.start);
+            all.push(iv.end);
+        }
+        for addr in all {
+            let iv = interval_of(&map, addr);
+            prop_assert!(iv.contains_addr(addr));
+            prop_assert_eq!(iv.next_hop, table.longest_match(addr).map(|e| e.next_hop));
+        }
+    }
+
+    #[test]
+    fn reuse_profile_matches_naive_lru(
+        dests in proptest::collection::vec(0u32..40, 1..250),
+        cap in 1usize..24,
+    ) {
+        let trace = Trace::new("t", dests.clone());
+        let predicted = ReuseProfile::of(&trace, cap + 1).lru_hit_rate(cap);
+        // Naive fully-associative LRU.
+        let mut order: Vec<u32> = Vec::new();
+        let mut hits = 0u64;
+        for &a in &dests {
+            if let Some(pos) = order.iter().position(|&x| x == a) {
+                if pos < cap {
+                    hits += 1;
+                }
+                order.remove(pos);
+            }
+            order.insert(0, a);
+        }
+        let simulated = hits as f64 / dests.len() as f64;
+        prop_assert!((simulated - predicted).abs() < 1e-9,
+            "cap {}: sim {} vs predicted {}", cap, simulated, predicted);
+    }
+}

@@ -1,0 +1,55 @@
+//! Robustness of the text parsers: arbitrary input must never panic,
+//! and well-formed data must round-trip exactly.
+
+use proptest::prelude::*;
+use spal::rib::parse::{parse_table, table_to_string};
+use spal::rib::{NextHop, Prefix, RouteEntry, RoutingTable};
+use spal::traffic::Trace;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn table_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_table(&input); // any Result is fine; panics are not
+    }
+
+    #[test]
+    fn trace_parser_never_panics(input in ".{0,200}") {
+        let _ = Trace::read_text("fuzz", input.as_bytes());
+    }
+
+    #[test]
+    fn prefix_parser_never_panics(input in ".{0,40}") {
+        let _ = input.parse::<Prefix>();
+    }
+
+    #[test]
+    fn table_roundtrip_is_exact(
+        routes in proptest::collection::vec((any::<u32>(), 0u8..=32, any::<u16>()), 0..60),
+    ) {
+        let table = RoutingTable::from_entries(routes.into_iter().map(|(b, l, nh)| RouteEntry {
+            prefix: Prefix::new(b, l).unwrap(),
+            next_hop: NextHop(nh),
+        }));
+        let text = table_to_string(&table);
+        let back = parse_table(&text).expect("own output parses");
+        prop_assert_eq!(back.entries(), table.entries());
+    }
+
+    #[test]
+    fn prefix_display_roundtrip(bits in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix::new(bits, len).unwrap();
+        let back: Prefix = p.to_string().parse().expect("own display parses");
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn trace_roundtrip_is_exact(dests in proptest::collection::vec(any::<u32>(), 0..80)) {
+        let trace = Trace::new("t", dests);
+        let mut buf = Vec::new();
+        trace.write_text(&mut buf).expect("write to Vec");
+        let back = Trace::read_text("t", buf.as_slice()).expect("own output parses");
+        prop_assert_eq!(back.destinations(), trace.destinations());
+    }
+}

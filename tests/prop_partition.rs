@@ -1,0 +1,114 @@
+//! Property-based tests for the SPAL partitioner: for *any* prefix set,
+//! any ψ and any (distinct) choice of partitioning bits, the home LC's
+//! forwarding table answers every address exactly like the full table —
+//! the correctness foundation of the whole scheme.
+
+use proptest::prelude::*;
+use spal::core::bits::{eta_for, select_bits};
+use spal::core::partition::{rot_partitions, Partitioning};
+use spal::rib::{NextHop, Prefix, RouteEntry, RoutingTable};
+
+fn arb_table(max_routes: usize) -> impl Strategy<Value = RoutingTable> {
+    proptest::collection::vec((any::<u32>(), 0u8..=32, 0u16..16), 1..max_routes).prop_map(|v| {
+        RoutingTable::from_entries(v.into_iter().map(|(bits, len, nh)| RouteEntry {
+            prefix: Prefix::new(bits, len).expect("len <= 32"),
+            next_hop: NextHop(nh),
+        }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn home_lookup_equals_full_lookup(
+        table in arb_table(60),
+        psi in 1usize..=9,
+        addrs in proptest::collection::vec(any::<u32>(), 24),
+    ) {
+        let bits = select_bits(&table, eta_for(psi));
+        let part = Partitioning::new(&table, bits, psi);
+        let tables = part.forwarding_tables(&table);
+        for addr in addrs {
+            let home = part.home_of(addr) as usize;
+            prop_assert!(home < psi);
+            prop_assert_eq!(
+                tables[home].longest_match(addr).map(|e| e.next_hop),
+                table.longest_match(addr).map(|e| e.next_hop),
+                "addr {:#010x} psi {}", addr, psi
+            );
+        }
+    }
+
+    #[test]
+    fn home_lookup_correct_for_arbitrary_bit_choices(
+        table in arb_table(50),
+        raw_bits in proptest::collection::hash_set(0u8..32, 0..4),
+        addrs in proptest::collection::vec(any::<u32>(), 16),
+    ) {
+        // Correctness may not depend on choosing *good* bits.
+        let bits: Vec<u8> = raw_bits.into_iter().collect();
+        let psi = 1usize << bits.len();
+        let part = Partitioning::new(&table, bits, psi);
+        let tables = part.forwarding_tables(&table);
+        for addr in addrs {
+            let home = part.home_of(addr) as usize;
+            prop_assert_eq!(
+                tables[home].longest_match(addr).map(|e| e.next_hop),
+                table.longest_match(addr).map(|e| e.next_hop),
+                "addr {:#010x}", addr
+            );
+        }
+    }
+
+    #[test]
+    fn rot_partitions_cover_and_only_replicate(
+        table in arb_table(50),
+        raw_bits in proptest::collection::hash_set(0u8..32, 1..4),
+    ) {
+        let bits: Vec<u8> = raw_bits.into_iter().collect();
+        let parts = rot_partitions(&table, &bits);
+        prop_assert_eq!(parts.len(), 1usize << bits.len());
+        // Every route appears somewhere; total >= original (replication
+        // only ever adds copies); a route with no wildcard in the chosen
+        // bits appears exactly once.
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert!(total >= table.len());
+        for e in &table {
+            let copies = parts
+                .iter()
+                .filter(|p| p.entries().iter().any(|x| x.prefix == e.prefix))
+                .count();
+            let wilds = bits.iter().filter(|&&b| b >= e.prefix.len()).count();
+            prop_assert_eq!(copies, 1usize << wilds, "prefix {}", e.prefix);
+        }
+    }
+
+    #[test]
+    fn group_mapping_is_total_and_stable(
+        table in arb_table(40),
+        psi in 1usize..=8,
+        addr in any::<u32>(),
+    ) {
+        let bits = select_bits(&table, eta_for(psi));
+        let part = Partitioning::new(&table, bits, psi);
+        let h1 = part.home_of(addr);
+        let h2 = part.home_of(addr);
+        prop_assert_eq!(h1, h2);
+        prop_assert!((h1 as usize) < psi);
+        // Every LC is reachable: the group->LC map is onto 0..psi.
+        let mut seen = vec![false; psi];
+        for g in 0..part.groups() {
+            // Reconstruct an address hitting group g by setting the
+            // chosen bits accordingly.
+            let mut a = 0u32;
+            for (i, &b) in part.bits().iter().enumerate() {
+                if (g >> (part.bits().len() - 1 - i)) & 1 == 1 {
+                    a |= 1 << (31 - b);
+                }
+            }
+            seen[part.home_of(a) as usize] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s), "some LC unreachable");
+    }
+}

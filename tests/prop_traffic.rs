@@ -1,0 +1,78 @@
+//! Property-based tests for the traffic substrate: samplers respect
+//! their distributions, traces preserve their destination multisets
+//! through splitting, and the text formats round-trip.
+
+use proptest::prelude::*;
+use spal::traffic::locality::AliasTable;
+use spal::traffic::Trace;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alias_table_respects_weights(
+        weights in proptest::collection::vec(0.01f64..10.0, 1..12),
+    ) {
+        use rand::SeedableRng;
+        let table = AliasTable::new(&weights);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 30_000usize;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let got = counts[i] as f64 / n as f64;
+            // Loose statistical bound: absolute error under 4 sigma-ish.
+            let sigma = (expect * (1.0 - expect) / n as f64).sqrt();
+            prop_assert!(
+                (got - expect).abs() < 5.0 * sigma + 0.01,
+                "outcome {i}: expected {expect:.4}, got {got:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_preserves_destinations(
+        dests in proptest::collection::vec(any::<u32>(), 0..200),
+        n in 1usize..8,
+    ) {
+        let trace = Trace::new("t", dests.clone());
+        let streams = trace.split(n);
+        prop_assert_eq!(streams.len(), n);
+        // Multiset and per-position order preservation: re-interleave.
+        let mut rebuilt = Vec::with_capacity(dests.len());
+        let mut idx = vec![0usize; n];
+        for i in 0..dests.len() {
+            let s = i % n;
+            rebuilt.push(streams[s].destinations()[idx[s]]);
+            idx[s] += 1;
+        }
+        prop_assert_eq!(rebuilt, dests);
+    }
+
+    #[test]
+    fn trace_text_roundtrip(dests in proptest::collection::vec(any::<u32>(), 0..100)) {
+        let trace = Trace::new("t", dests);
+        let mut buf = Vec::new();
+        trace.write_text(&mut buf).expect("write to Vec");
+        let back = Trace::read_text("t", buf.as_slice()).expect("roundtrip parses");
+        prop_assert_eq!(back.destinations(), trace.destinations());
+    }
+
+    #[test]
+    fn distinct_counts_bounded(
+        dests in proptest::collection::vec(0u32..50, 0..300),
+    ) {
+        let trace = Trace::new("t", dests.clone());
+        let mut truth: HashMap<u32, ()> = HashMap::new();
+        for d in &dests {
+            truth.insert(*d, ());
+        }
+        prop_assert_eq!(trace.distinct(), truth.len());
+        prop_assert!(trace.distinct() <= trace.len().max(1));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the IPv6 side: prefix semantics and the
+//! generic partitioner (§6's "feasibly applicable to IPv6").
+
+use proptest::prelude::*;
+use spal::core::v6::Partitioning6;
+use spal::rib::v6::{Prefix6, RouteEntry6, RoutingTable6};
+use spal::rib::NextHop;
+
+fn arb_prefix6() -> impl Strategy<Value = Prefix6> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| Prefix6::new(bits, len).expect("len ok"))
+}
+
+fn arb_table6(max_routes: usize) -> impl Strategy<Value = RoutingTable6> {
+    proptest::collection::vec((arb_prefix6(), 0u16..16), 1..max_routes).prop_map(|v| {
+        RoutingTable6::from_entries(v.into_iter().map(|(prefix, nh)| RouteEntry6 {
+            prefix,
+            next_hop: NextHop(nh),
+        }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prefix6_canonical_and_matching(bits in any::<u128>(), len in 0u8..=128) {
+        let p = Prefix6::new(bits, len).unwrap();
+        // Canonical: re-masking is a no-op.
+        prop_assert_eq!(Prefix6::new(p.bits(), len).unwrap(), p);
+        // The prefix matches its own base and everything inside.
+        prop_assert!(p.matches(p.bits()));
+        if len < 128 {
+            let inside = p.bits() | (1u128 << (127 - len));
+            prop_assert!(p.matches(inside));
+        }
+        // Containment is reflexive and respects length.
+        prop_assert!(p.contains(p));
+        if len > 0 {
+            let shorter = Prefix6::new(p.bits(), len - 1).unwrap();
+            prop_assert!(shorter.contains(p));
+        }
+    }
+
+    #[test]
+    fn tri_bit_consistency_v6(bits in any::<u128>(), len in 0u8..=128, i in 0u8..128) {
+        use spal::rib::bits::TriBit;
+        let p = Prefix6::new(bits, len).unwrap();
+        let t = p.tri_bit(i);
+        if i >= len {
+            prop_assert_eq!(t, TriBit::Wild);
+        } else {
+            // A concrete bit matches exactly one value.
+            prop_assert!(t.matches(true) != t.matches(false));
+        }
+    }
+
+    #[test]
+    fn home_lookup_equals_full_lookup_v6(
+        table in arb_table6(40),
+        psi in 1usize..=6,
+        addrs in proptest::collection::vec(any::<u128>(), 12),
+    ) {
+        let eta = spal::core::bits::eta_for(psi);
+        let prefixes: Vec<Prefix6> = table.entries().iter().map(|e| e.prefix).collect();
+        let bits = spal::core::bits::select_bits_generic(
+            &prefixes, eta, 127, spal::core::BitSelectionStrategy::MinimizeMax,
+        );
+        let part = Partitioning6::new(&table, bits, psi);
+        let fragments = part.forwarding_tables(&table);
+        for addr in addrs {
+            let home = part.home_of(addr) as usize;
+            prop_assert!(home < psi);
+            prop_assert_eq!(
+                fragments[home].longest_match(addr).map(|e| e.next_hop),
+                table.longest_match(addr).map(|e| e.next_hop),
+                "addr {:#034x}", addr
+            );
+        }
+    }
+
+    #[test]
+    fn generic_binary_trie_matches_v6_oracle(
+        table in arb_table6(40),
+        addrs in proptest::collection::vec(any::<u128>(), 12),
+    ) {
+        use spal::lpm::binary::GenericBinaryTrie;
+        let mut trie: GenericBinaryTrie<u128> = GenericBinaryTrie::new();
+        for e in table.entries() {
+            trie.insert(e.prefix.bits(), e.prefix.len(), e.next_hop);
+        }
+        let mut probes = addrs;
+        for e in table.entries() {
+            probes.push(e.prefix.bits());
+            probes.push(e.prefix.bits() | !u128::MAX.checked_shl(128 - e.prefix.len() as u32).unwrap_or(0));
+        }
+        for addr in probes {
+            prop_assert_eq!(
+                trie.lookup_generic(addr),
+                table.longest_match(addr).map(|e| e.next_hop)
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Thread-safety guarantees: every read-only structure a multi-core
+//! software router would share across workers must be `Send + Sync`, and
+//! sharing one trie across threads must produce identical results.
+
+use spal::core::{ForwardingTable, LpmAlgorithm};
+use spal::lpm::Lpm;
+use spal::rib::synth;
+use std::sync::Arc;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn shared_structures_are_send_sync() {
+    assert_send_sync::<spal::rib::RoutingTable>();
+    assert_send_sync::<spal::rib::Prefix>();
+    assert_send_sync::<spal::core::Partitioning>();
+    assert_send_sync::<ForwardingTable>();
+    assert_send_sync::<spal::lpm::lulea::LuleaTrie>();
+    assert_send_sync::<spal::lpm::dp::DpTrie>();
+    assert_send_sync::<spal::lpm::lctrie::LcTrie>();
+    assert_send_sync::<spal::lpm::binary::BinaryTrie>();
+    assert_send_sync::<spal::traffic::Trace>();
+}
+
+#[test]
+fn concurrent_lookups_agree_with_sequential() {
+    let table = synth::synthesize(&synth::SynthConfig::sized(5_000, 91));
+    let fwd = Arc::new(ForwardingTable::build(LpmAlgorithm::Lulea, &table));
+    let addrs: Arc<Vec<u32>> = Arc::new(
+        table
+            .entries()
+            .iter()
+            .step_by(3)
+            .map(|e| e.prefix.first_addr())
+            .collect(),
+    );
+    let sequential: Vec<_> = addrs.iter().map(|&a| fwd.lookup(a)).collect();
+
+    let threads = 4;
+    let results: Vec<Vec<_>> = std::thread::scope(|scope| {
+        (0..threads)
+            .map(|t| {
+                let fwd = Arc::clone(&fwd);
+                let addrs = Arc::clone(&addrs);
+                scope.spawn(move || {
+                    addrs
+                        .iter()
+                        .skip(t)
+                        .step_by(threads)
+                        .map(|&a| fwd.lookup(a))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    for (t, chunk) in results.into_iter().enumerate() {
+        let expect: Vec<_> = sequential
+            .iter()
+            .skip(t)
+            .step_by(threads)
+            .copied()
+            .collect();
+        assert_eq!(chunk, expect, "thread {t} diverged");
+    }
+}
