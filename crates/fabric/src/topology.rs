@@ -183,6 +183,38 @@ impl SwitchingFabric {
     pub fn in_flight(&self) -> usize {
         self.in_transit.iter().map(VecDeque::len).sum()
     }
+
+    /// Whether [`SwitchingFabric::receive`] would hand `dst` a message
+    /// at cycle `now` — a side-effect-free preview for schedulers that
+    /// skip idle ports.
+    pub fn deliverable(&self, dst: u16, now: u64) -> bool {
+        self.last_delivery[dst as usize] != Some(now)
+            && self.in_transit[dst as usize]
+                .front()
+                .is_some_and(|&(arrives, _)| arrives <= now)
+    }
+
+    /// Earliest cycle at which any in-flight message finishes transit,
+    /// or `None` when the fabric is empty. Constant latency keeps each
+    /// per-destination queue ordered by arrival time, so only queue
+    /// fronts need inspecting. A message may still be delivered *later*
+    /// than this (output-port serialisation), never earlier — which is
+    /// exactly the guarantee an event-driven scheduler needs.
+    pub fn next_delivery_at(&self) -> Option<u64> {
+        (0..self.ports as u16)
+            .filter_map(|dst| self.next_delivery_for(dst))
+            .min()
+    }
+
+    /// Earliest transit-completion cycle among messages bound for `dst`,
+    /// or `None` when none are in flight. Same guarantee as
+    /// [`SwitchingFabric::next_delivery_at`], restricted to one output
+    /// port — the per-LC event horizon an event-driven scheduler scans.
+    pub fn next_delivery_for(&self, dst: u16) -> Option<u64> {
+        self.in_transit[dst as usize]
+            .front()
+            .map(|&(arrives, _)| arrives)
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +290,23 @@ mod tests {
         assert!(f.receive(1, 2).is_some());
         assert!(f.receive(3, 2).is_some());
         assert_eq!(f.in_flight(), 0);
+    }
+
+    #[test]
+    fn next_delivery_tracks_queue_fronts() {
+        let mut f = SwitchingFabric::new(FabricModel::Crossbar, 4);
+        assert_eq!(f.next_delivery_at(), None);
+        f.send(msg(0, 1, 1, 10), 10).unwrap();
+        f.send(msg(2, 3, 2, 12), 12).unwrap();
+        // Latency 2: arrivals at 12 and 14; the minimum wins.
+        assert_eq!(f.next_delivery_at(), Some(12));
+        assert_eq!(f.next_delivery_for(1), Some(12));
+        assert_eq!(f.next_delivery_for(3), Some(14));
+        assert_eq!(f.next_delivery_for(0), None);
+        assert!(f.receive(1, 12).is_some());
+        assert_eq!(f.next_delivery_at(), Some(14));
+        assert!(f.receive(3, 14).is_some());
+        assert_eq!(f.next_delivery_at(), None);
     }
 
     #[test]

@@ -19,6 +19,25 @@ pub enum RouterKind {
     Conventional,
 }
 
+/// How the simulator's clock advances.
+///
+/// Both modes produce bit-identical reports: the fast-forward engine
+/// only skips cycles in which, by construction, no line card, forwarding
+/// engine, fabric port or cache-flush timer has anything to do. The
+/// naive mode is kept as the executable specification the equivalence
+/// suite pins the fast path against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Event-horizon fast-forward: whenever the router is globally
+    /// quiescent, jump the clock straight to the earliest next event
+    /// (packet arrival, FE completion, fabric delivery, or cache-flush
+    /// boundary).
+    #[default]
+    FastForward,
+    /// Advance one cycle at a time, evaluating every phase every cycle.
+    Naive,
+}
+
 /// How long a forwarding-engine lookup takes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FeServiceModel {
@@ -83,6 +102,10 @@ pub struct SimConfig {
     pub measure_after_cycle: u64,
     /// RNG seed for arrivals and random replacement.
     pub seed: u64,
+    /// Clock-advance strategy. [`EngineMode::FastForward`] (the default)
+    /// and [`EngineMode::Naive`] are report-identical; the switch exists
+    /// for the equivalence suite and for perf comparisons.
+    pub engine: EngineMode,
 }
 
 impl Default for SimConfig {
@@ -100,6 +123,7 @@ impl Default for SimConfig {
             flush_interval_cycles: None,
             measure_after_cycle: 0,
             seed: 1,
+            engine: EngineMode::FastForward,
         }
     }
 }
@@ -130,5 +154,6 @@ mod tests {
         assert_eq!(c.cache.blocks, 4096);
         assert_eq!(c.fe, FeServiceModel::Fixed(40));
         assert_eq!(c.packets_per_lc, 300_000);
+        assert_eq!(c.engine, EngineMode::FastForward);
     }
 }

@@ -14,8 +14,27 @@
 //! 5. probe the LR-cache with the head of the input queue (at most one
 //!    probe per cycle, §5.1) and act on the outcome;
 //! 6. inject the head of the outgoing queue into the fabric.
+//!
+//! # Clock advance
+//!
+//! Running those six phases for every LC on every cycle is wasteful
+//! whenever the router is *globally quiescent* — every queue empty, no
+//! FE mid-lookup, nothing in the fabric, no arrival due. At 10 Gbps the
+//! mean inter-arrival gap is 40 cycles, so most cycles are exactly that.
+//! The default [`EngineMode::FastForward`] engine scans once per
+//! executed cycle, computing each LC's *next-event cycle*: the minimum
+//! over its next arrival ([`ArrivalProcess::peek`]), its FE completion
+//! time, and the fabric's next transit completion for its port
+//! ([`SwitchingFabric::next_delivery_for`]). The clock jumps straight to
+//! the global minimum of those (plus the next cache-flush boundary), and
+//! the same per-LC values then gate the phase loop so only LCs whose
+//! event fired run their phases. Skipped cycles and skipped LCs are
+//! provably no-ops (each phase's guard fails), so the fast path is
+//! cycle-identical to the naive loop — which is kept behind
+//! [`EngineMode::Naive`] and pinned against it by the `engine_equiv`
+//! test suite.
 
-use crate::config::{FeServiceModel, RouterKind, SimConfig};
+use crate::config::{EngineMode, FeServiceModel, RouterKind, SimConfig};
 use crate::metrics::LatencyStats;
 use crate::report::{LcReport, SimReport};
 use rand::rngs::StdRng;
@@ -27,6 +46,7 @@ use spal_lpm::Lpm;
 use spal_rib::RoutingTable;
 use spal_traffic::{ArrivalProcess, Trace};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Identifies a packet across the run.
 type PacketId = u64;
@@ -61,19 +81,31 @@ struct FeJob {
     remote_initiator: Option<(u16, PacketId)>,
 }
 
+/// The FE job currently in service, with its result resolved at start
+/// time. The forwarding table is immutable for the duration of a run,
+/// so resolving when the lookup starts is equivalent to resolving when
+/// it completes — and the single trie walk also yields the access count
+/// the [`FeServiceModel::PerLookup`] cost model charges, where the old
+/// engine walked the trie a second time.
+#[derive(Debug, Clone, Copy)]
+struct ActiveFeJob {
+    job: FeJob,
+    next_hop: Option<u16>,
+}
+
 struct Lc {
     id: u16,
-    fwd: ForwardingTable,
+    fwd: Arc<ForwardingTable>,
     cache: LrCache<Option<u16>>,
     input: Queue<WorkItem>,
     outgoing: Queue<FabricMsg>,
     fe_queue: Queue<FeJob>,
     fe_busy_until: u64,
-    fe_job: Option<FeJob>,
+    fe_job: Option<ActiveFeJob>,
     fe_lookups: u64,
     fe_busy_cycles: u64,
     waiting: HashMap<u32, Waiters>,
-    dests: Vec<u32>,
+    dests: Arc<[u32]>,
     next_packet: usize,
     arrivals: ArrivalProcess,
     rng: StdRng,
@@ -112,6 +144,16 @@ pub struct RouterSim {
     completed: u64,
     total_packets: u64,
     now: u64,
+    /// Cycles whose phases actually ran (fast-forward skips the rest).
+    executed_cycles: u64,
+    /// The fast engine's event horizon: LC `i`'s next-event cycle
+    /// (`u64::MAX` = nothing ever pending). Doubles as the per-LC
+    /// activity gate — one scan serves both jump and gate — and is
+    /// maintained *incrementally*: an idle LC's entry cannot drift,
+    /// because its state only changes through its own phases (entry
+    /// `< now` after it ran) or an inbound fabric message (entry zeroed
+    /// at send time), so each scan recomputes only those entries.
+    lc_next: Vec<u64>,
 }
 
 impl RouterSim {
@@ -133,16 +175,26 @@ impl RouterSim {
             }
             _ => None,
         };
-        let per_lc_tables: Vec<RoutingTable> = match &partitioning {
-            Some(p) => p.forwarding_tables(table),
-            None => vec![table.clone(); config.psi],
+        let fwds: Vec<Arc<ForwardingTable>> = match &partitioning {
+            Some(p) => p
+                .forwarding_tables(table)
+                .iter()
+                .map(|part| Arc::new(ForwardingTable::build(config.algorithm, part)))
+                .collect(),
+            // Non-SPAL kinds run the identical whole table at every LC:
+            // build one engine and share it instead of cloning the
+            // routing table (and the built trie) ψ times.
+            None => {
+                let shared = Arc::new(ForwardingTable::build(config.algorithm, table));
+                vec![shared; config.psi]
+            }
         };
-        let lcs: Vec<Lc> = per_lc_tables
-            .iter()
+        let lcs: Vec<Lc> = fwds
+            .into_iter()
             .enumerate()
-            .map(|(i, part)| Lc {
+            .map(|(i, fwd)| Lc {
                 id: i as u16,
-                fwd: ForwardingTable::build(config.algorithm, part),
+                fwd,
                 cache: LrCache::new(LrCacheConfig {
                     seed: config.cache.seed.wrapping_add(i as u64),
                     ..config.cache.clone()
@@ -155,7 +207,7 @@ impl RouterSim {
                 fe_lookups: 0,
                 fe_busy_cycles: 0,
                 waiting: HashMap::new(),
-                dests: traces[i % traces.len()].destinations().to_vec(),
+                dests: traces[i % traces.len()].destinations_shared(),
                 next_packet: 0,
                 arrivals: ArrivalProcess::new(config.speed),
                 rng: StdRng::seed_from_u64(config.seed.wrapping_add(0x9E37_79B9 * i as u64)),
@@ -173,6 +225,9 @@ impl RouterSim {
             completed: 0,
             total_packets,
             now: 0,
+            executed_cycles: 0,
+            // Zero = "active at any cycle": conservative until first scan.
+            lc_next: vec![0; config.psi],
             config,
         }
     }
@@ -190,6 +245,15 @@ impl RouterSim {
     /// Completed / total packets.
     pub fn progress(&self) -> (u64, u64) {
         (self.completed, self.total_packets)
+    }
+
+    /// Cycles whose phases actually executed. Under
+    /// [`EngineMode::Naive`] this equals [`RouterSim::now`]; under
+    /// [`EngineMode::FastForward`] the difference is the number of
+    /// skipped (provably idle) cycles — a diagnostic for how much the
+    /// event horizon is paying off on a given configuration.
+    pub fn executed_cycles(&self) -> u64 {
+        self.executed_cycles
     }
 
     /// Run to completion and report. Panics if the simulation fails to
@@ -216,13 +280,116 @@ impl RouterSim {
     /// and report on whatever completed.
     pub fn run_for(mut self, cycles: u64) -> SimReport {
         while self.now < cycles && self.completed < self.total_packets {
-            self.step();
+            self.step_bounded(cycles);
         }
         self.report()
     }
 
-    /// Advance one cycle.
+    /// Advance the simulation: exactly one cycle in
+    /// [`EngineMode::Naive`], or — when the router is globally quiescent
+    /// in [`EngineMode::FastForward`] — a jump to the next event followed
+    /// by that event's cycle.
     pub fn step(&mut self) {
+        self.step_bounded(u64::MAX);
+    }
+
+    /// [`RouterSim::step`] with fast-forward jumps capped at `limit`:
+    /// a jump that reaches the cap stops the clock there *without*
+    /// executing that cycle, so [`RouterSim::run_for`] ends at exactly
+    /// the cycle count the naive engine would report.
+    fn step_bounded(&mut self, limit: u64) {
+        debug_assert!(self.now < limit, "stepping past the cycle bound");
+        if self.config.engine == EngineMode::FastForward {
+            // One scan yields both the jump target (the global minimum)
+            // and the per-LC activity gate `step_cycle` consults. An
+            // entry `< now` belongs to an LC whose phases ran (or that
+            // was flagged by an inbound fabric send) since it was
+            // computed — only those can have changed state, so only
+            // those are recomputed.
+            let mut next = u64::MAX;
+            for i in 0..self.lcs.len() {
+                if self.lc_next[i] < self.now {
+                    self.lc_next[i] = self.lc_next_event(i);
+                }
+                next = next.min(self.lc_next[i]);
+            }
+            if let Some(interval) = self.config.flush_interval_cycles {
+                if self.config.kind != RouterKind::Conventional {
+                    // Flushes mutate cache state and statistics, so every
+                    // boundary is a stop even when the caches are empty.
+                    // The current cycle counts if its own flush has not
+                    // run yet (entering `step_cycle` at `now` always
+                    // means cycle `now` is still unexecuted).
+                    let at = if self.now > 0 && self.now.is_multiple_of(interval) {
+                        self.now
+                    } else {
+                        (self.now / interval + 1) * interval
+                    };
+                    next = next.min(at);
+                }
+            }
+            if next != u64::MAX {
+                let target = next.min(limit);
+                if target > self.now {
+                    self.now = target;
+                    if target == limit {
+                        return; // window exhausted before the event
+                    }
+                }
+            }
+            // No pending event anywhere (a drained or wedged run): fall
+            // through and burn single cycles, exactly like the naive
+            // engine, so `run`'s drain bound still fires on deadlock.
+        }
+        self.step_cycle();
+    }
+
+    /// The earliest cycle in which any of LC `i`'s phases can do work,
+    /// or `u64::MAX` if nothing is ever pending for it. The global
+    /// cache-flush boundary is the caller's concern.
+    ///
+    /// Immediately serviceable work — a probe waiting in the input
+    /// queue, an injection waiting in the outgoing queue, or an FE job
+    /// queued behind an *idle* engine — reports `self.now`. An FE job
+    /// queued behind a busy engine is *not* immediate: nothing can
+    /// happen to it before `fe_busy_until`, which is already the
+    /// completion event. That distinction is what lets the overloaded
+    /// conventional router (a permanent FE backlog) still fast-forward
+    /// across each 40-cycle lookup.
+    ///
+    /// The six phases only create same-cycle work for *this* LC (a
+    /// delivered request enters the input queue, a completion emits
+    /// replies, a probe enqueues an FE job...), and every such trigger
+    /// is one of the conditions below — cross-LC effects travel through
+    /// the fabric with latency ≥ 1 — so the value cannot move *earlier*
+    /// while the LC sits idle, and skipping it until then leaves the
+    /// simulation state bit-identical.
+    fn lc_next_event(&self, i: usize) -> u64 {
+        let lc = &self.lcs[i];
+        if !lc.input.is_empty() || !lc.outgoing.is_empty() {
+            return self.now; // a probe or an injection is due
+        }
+        let mut next = u64::MAX;
+        if lc.fe_job.is_some() {
+            next = lc.fe_busy_until; // the completion event
+        } else if !lc.fe_queue.is_empty() {
+            return self.now; // an idle FE can start this job now
+        }
+        if lc.next_packet < self.config.packets_per_lc {
+            next = next.min(lc.arrivals.peek());
+        }
+        // Only the SPAL router ever injects into the fabric.
+        if self.config.kind == RouterKind::Spal {
+            if let Some(at) = self.fabric.next_delivery_for(lc.id) {
+                next = next.min(at);
+            }
+        }
+        next
+    }
+
+    /// Execute one cycle's six phases on every LC.
+    fn step_cycle(&mut self) {
+        self.executed_cycles += 1;
         let now = self.now;
         // Routing-table update: flush every LR-cache (§3.2). Waiting
         // lists live beside the cache, so in-flight lookups still
@@ -237,7 +404,17 @@ impl RouterSim {
                 }
             }
         }
+        // The fast engine additionally skips LCs whose six phases are
+        // all provably no-ops this cycle — their scanned next-event
+        // cycle lies beyond `now` (after a jump, typically only the LC
+        // whose event fired has anything to do). The naive engine runs
+        // every phase on every LC, guards and all — it is the executable
+        // specification the fast path is pinned against.
+        let gate = self.config.engine == EngineMode::FastForward;
         for i in 0..self.lcs.len() {
+            if gate && self.lc_next[i] > now {
+                continue;
+            }
             self.receive_fabric(i, now);
             self.admit_arrival(i, now);
             self.fe_complete(i, now);
@@ -319,15 +496,19 @@ impl RouterSim {
         if self.lcs[i].fe_job.is_none() || self.lcs[i].fe_busy_until > now {
             return;
         }
-        let job = self.lcs[i].fe_job.take().expect("checked above");
-        let counted = self.lcs[i].fwd.lookup_counted(job.addr);
-        let nh = counted.next_hop.map(|h| h.0);
+        let ActiveFeJob { job, next_hop: nh } = self.lcs[i].fe_job.take().expect("checked above");
         let uses_cache = self.config.kind != RouterKind::Conventional;
         if uses_cache {
             let _ = self.lcs[i].cache.fill(job.addr, nh, Origin::Loc);
         }
-        // Release waiters and reply to remote requesters.
-        let waiters = self.lcs[i].waiting.remove(&job.addr).unwrap_or_default();
+        // Release waiters and reply to remote requesters. The emptiness
+        // check dodges a per-completion hash on the conventional router,
+        // whose waiting lists are permanently empty.
+        let waiters = if self.lcs[i].waiting.is_empty() {
+            Waiters::default()
+        } else {
+            self.lcs[i].waiting.remove(&job.addr).unwrap_or_default()
+        };
         let mut local_done: Vec<PacketId> = waiters.locals;
         if let Some(id) = job.local_initiator {
             local_done.push(id);
@@ -353,26 +534,24 @@ impl RouterSim {
         }
     }
 
-    /// Step 4: start the next FE lookup.
+    /// Step 4: start the next FE lookup. One trie walk yields both the
+    /// result (carried on the active job until completion) and, for
+    /// [`FeServiceModel::PerLookup`], the charged access count.
     fn fe_start(&mut self, i: usize, now: u64) {
-        let fe_cost = {
-            let lc = &self.lcs[i];
-            if lc.fe_job.is_some() || lc.fe_queue.is_empty() {
-                return;
-            }
-            match self.config.fe {
-                FeServiceModel::Fixed(c) => c,
-                FeServiceModel::PerLookup => {
-                    // Charge the actual access count of this lookup.
-                    let addr = lc.fe_queue.peek().expect("non-empty").addr;
-                    let accesses = lc.fwd.lookup_counted(addr).mem_accesses;
-                    self.config.fe.cycles(accesses)
-                }
-            }
-        };
         let lc = &mut self.lcs[i];
+        if lc.fe_job.is_some() || lc.fe_queue.is_empty() {
+            return;
+        }
         let job = lc.fe_queue.pop().expect("non-empty");
-        lc.fe_job = Some(job);
+        let counted = lc.fwd.lookup_counted(job.addr);
+        let fe_cost = match self.config.fe {
+            FeServiceModel::Fixed(c) => c,
+            FeServiceModel::PerLookup => self.config.fe.cycles(counted.mem_accesses),
+        };
+        lc.fe_job = Some(ActiveFeJob {
+            job,
+            next_hop: counted.next_hop.map(|h| h.0),
+        });
         lc.fe_busy_until = now + fe_cost as u64;
         lc.fe_lookups += 1;
         lc.fe_busy_cycles += fe_cost as u64;
@@ -505,6 +684,10 @@ impl RouterSim {
         let msg = *self.lcs[i].outgoing.peek().expect("non-empty");
         if self.fabric.send(msg, now).is_ok() {
             let _ = self.lcs[i].outgoing.pop();
+            // The one cross-LC state change in the simulator: flag the
+            // destination so the next scan recomputes its event horizon
+            // (its cached entry cannot know about this message).
+            self.lc_next[msg.dst as usize] = 0;
         }
     }
 
@@ -823,6 +1006,38 @@ mod tests {
             warm.mean_lookup_cycles(),
             cold.mean_lookup_cycles()
         );
+    }
+
+    #[test]
+    fn fast_forward_actually_skips_cycles() {
+        // At 10 Gbps (mean gap 40) the router idles most cycles; the
+        // fast engine must execute only a small fraction of them, for
+        // every router kind — including the backlogged conventional one,
+        // whose quiet stretches sit between FE completions rather than
+        // between arrivals.
+        let rt = synth::small(139);
+        for kind in [
+            RouterKind::Spal,
+            RouterKind::CacheOnly,
+            RouterKind::Conventional,
+        ] {
+            let cfg = SimConfig {
+                speed: LcSpeed::Gbps10,
+                packets_per_lc: 1_000,
+                ..tiny_config(kind, 2)
+            };
+            let traces = tiny_traces(&rt, 2);
+            let mut sim = RouterSim::new(&rt, &traces, cfg);
+            let limit = 1_000 * 40 * 4; // generous drain window
+            while sim.now() < limit && sim.progress().0 < sim.progress().1 {
+                sim.step();
+            }
+            let (executed, total) = (sim.executed_cycles(), sim.now());
+            assert!(
+                executed * 3 < total,
+                "{kind:?}: executed {executed} of {total} cycles — fast-forward not engaging"
+            );
+        }
     }
 
     #[test]

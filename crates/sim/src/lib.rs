@@ -26,7 +26,7 @@ pub mod engine;
 pub mod metrics;
 pub mod report;
 
-pub use config::{FeServiceModel, RouterKind, SimConfig};
+pub use config::{EngineMode, FeServiceModel, RouterKind, SimConfig};
 pub use engine::RouterSim;
 pub use metrics::LatencyStats;
 pub use report::{LcReport, SimReport};

@@ -4,7 +4,7 @@
 /// percentiles. One lookup = the time from a packet's arrival at its LC
 /// until its next hop is known at that LC; an immediate cache hit costs
 /// one cycle.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyStats {
     count: u64,
     sum: u64,

@@ -5,7 +5,7 @@ use spal_cache::CacheStats;
 use spal_fabric::FabricStats;
 
 /// Per-line-card results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LcReport {
     /// Line-card index.
     pub lc: usize,
@@ -22,7 +22,10 @@ pub struct LcReport {
 }
 
 /// Results of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// Equality is exact and field-by-field — the `engine_equiv` suite
+/// relies on it to pin the fast-forward engine against the naive one.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimReport {
     /// Per-packet lookup latency over all LCs, in cycles.
     pub latency: LatencyStats,

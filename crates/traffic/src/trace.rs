@@ -6,12 +6,17 @@ use crate::pool::AddressPool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::Arc;
 
 /// A sequence of packet destination addresses.
+///
+/// Destinations live behind an [`Arc`], so cloning a trace — or handing
+/// its address stream to a simulator line card — shares one allocation
+/// instead of copying potentially hundreds of thousands of addresses.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     name: String,
-    dests: Vec<u32>,
+    dests: Arc<[u32]>,
 }
 
 impl Trace {
@@ -19,7 +24,7 @@ impl Trace {
     pub fn new(name: impl Into<String>, dests: Vec<u32>) -> Self {
         Trace {
             name: name.into(),
-            dests,
+            dests: dests.into(),
         }
     }
 
@@ -54,6 +59,11 @@ impl Trace {
         &self.dests
     }
 
+    /// The destination sequence as a shared handle (no copy).
+    pub fn destinations_shared(&self) -> Arc<[u32]> {
+        Arc::clone(&self.dests)
+    }
+
     /// Number of packets.
     pub fn len(&self) -> usize {
         self.dests.len()
@@ -66,7 +76,7 @@ impl Trace {
 
     /// Number of distinct destinations.
     pub fn distinct(&self) -> usize {
-        let mut v = self.dests.clone();
+        let mut v = self.dests.to_vec();
         v.sort_unstable();
         v.dedup();
         v.len()
@@ -90,7 +100,7 @@ impl Trace {
     /// Write one dotted-quad destination per line.
     pub fn write_text<W: Write>(&self, mut w: W) -> std::io::Result<()> {
         let mut buf = String::new();
-        for &d in &self.dests {
+        for &d in self.dests.iter() {
             buf.clear();
             let b = d.to_be_bytes();
             buf.push_str(&format!("{}.{}.{}.{}\n", b[0], b[1], b[2], b[3]));
@@ -168,6 +178,16 @@ mod tests {
         let t = Trace::new("x", vec![9, 8, 7]);
         let s = t.split(1);
         assert_eq!(s[0].destinations(), t.destinations());
+    }
+
+    #[test]
+    fn clones_share_destination_storage() {
+        let t = Trace::new("x", vec![1, 2, 3]);
+        let c = t.clone();
+        assert!(Arc::ptr_eq(
+            &t.destinations_shared(),
+            &c.destinations_shared()
+        ));
     }
 
     #[test]

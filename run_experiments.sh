@@ -3,6 +3,11 @@
 set -e
 cd "$(dirname "$0")"
 cargo build --release -p spal-bench
+# Simulator-engine regression gate: refreshes BENCH_sim.json at the repo
+# root and fails the whole run if the fast-forward engine's speedup
+# contract is broken, so perf is tracked alongside the science.
+echo "=== bench_gate ==="
+./target/release/bench_gate "$@" | tee results/bench_gate.txt
 for exp in exp_partitioning exp_storage exp_fig3_sram exp_accesses \
            exp_fig4_mix exp_fig5_cache_size exp_fig6_scaling exp_headline \
            exp_length_partition exp_speed_cases exp_ablations exp_update_rate \

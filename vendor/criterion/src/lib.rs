@@ -1,0 +1,212 @@
+//! Offline stand-in for the subset of `criterion` the workspace's
+//! benches use: `criterion_group!`/`criterion_main!`, `Criterion::
+//! {bench_function, benchmark_group}`, group `sample_size`/`throughput`/
+//! `finish`, `Bencher::iter`, `black_box`, and `Throughput`.
+//!
+//! The build environment cannot fetch the real crate. This one measures
+//! each benchmark with a short warm-up followed by `sample_size` timed
+//! samples and prints a one-line mean/min per benchmark — enough to
+//! eyeball regressions. The statistically rigorous perf gate for this
+//! repo is the `bench_gate` binary in `spal-bench`, which does not
+//! depend on this crate's measurement quality.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported compiler optimisation barrier.
+pub use std::hint::black_box;
+
+/// Units for throughput annotation (display only).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Accept (and ignore) CLI arguments, as the real crate does in
+    /// `criterion_main!`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.sample_size, None, f);
+        self
+    }
+
+    /// Open a named group sharing settings across related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Print the closing summary (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotate throughput (reported as elements or bytes per second).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark one function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, recording one sample for the enclosing driver.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // One untimed warm-up pass.
+    let mut warm = Bencher {
+        samples: Vec::new(),
+    };
+    f(&mut warm);
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+    };
+    let budget = Duration::from_secs(3);
+    let started = Instant::now();
+    for _ in 0..sample_size {
+        f(&mut b);
+        if started.elapsed() > budget {
+            break; // keep slow benches bounded
+        }
+    }
+    if b.samples.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = *b.samples.iter().min().expect("non-empty");
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(" ({:.1} Melem/s)", n as f64 / mean.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                " ({:.1} MiB/s)",
+                n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id}: mean {mean:?} / min {min:?} over {} samples{rate}",
+        b.samples.len()
+    );
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| {
+            runs += 1;
+            b.iter(|| black_box(1 + 1))
+        });
+        // warm-up + sample_size invocations of the closure
+        assert_eq!(runs, 21);
+    }
+
+    #[test]
+    fn group_settings_apply() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        let mut iters = 0usize;
+        g.bench_function("f", |b| b.iter(|| iters += 1));
+        g.finish();
+        assert_eq!(iters, 4); // 1 warm-up + 3 samples
+    }
+}

@@ -1,0 +1,54 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use rand::distributions::{Distribution, Standard};
+use rand::rngs::StdRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Sample an arbitrary value.
+    fn arb_sample(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),+ $(,)?) => {
+        $(impl Arbitrary for $t {
+            fn arb_sample(rng: &mut StdRng) -> Self {
+                Standard.sample(rng)
+            }
+        })+
+    };
+}
+
+arbitrary_via_standard!(bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, f64, f32);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        T::arb_sample(rng)
+    }
+}
+
+/// The strategy of all values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_bool_takes_both_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = any::<bool>();
+        let trues = (0..100).filter(|_| s.sample_value(&mut rng)).count();
+        assert!((20..80).contains(&trues));
+    }
+}

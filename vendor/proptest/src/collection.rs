@@ -1,0 +1,171 @@
+//! Collection strategies: `vec`, `btree_set`, `hash_set`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive size bounds for a generated collection.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Vectors of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Output of [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.sample_value(rng)).collect()
+    }
+}
+
+/// `BTreeSet`s whose size lands in `size` (best effort: with a small
+/// element domain, duplicate draws may leave the set below target).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Output of [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0;
+        while set.len() < target && attempts < target * 10 + 32 {
+            set.insert(self.element.sample_value(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// `HashSet` analogue of [`btree_set`].
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Output of [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut set = HashSet::new();
+        let mut attempts = 0;
+        while set.len() < target && attempts < target * 10 + 32 {
+            set.insert(self.element.sample_value(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_sizes_obey_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = vec(0u32..10, 3..7);
+        for _ in 0..200 {
+            let v = s.sample_value(&mut rng);
+            assert!((3..7).contains(&v.len()), "len {}", v.len());
+        }
+        let exact = vec(0u32..10, 5usize);
+        assert_eq!(exact.sample_value(&mut rng).len(), 5);
+    }
+
+    #[test]
+    fn sets_reach_target_when_domain_allows() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = btree_set(0u32..1000, 10..=10);
+        assert_eq!(s.sample_value(&mut rng).len(), 10);
+        // Tiny domain: can't exceed it, never loops forever.
+        let tiny = hash_set(0u8..2, 1..=2);
+        let got = tiny.sample_value(&mut rng);
+        assert!(!got.is_empty() && got.len() <= 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the real crate is
+//! unavailable; this crate keeps the property-test suites compiling and
+//! running. It preserves the *testing semantics* that matter here —
+//! deterministic case generation per (test name, case index), the
+//! strategy combinators the suites use, and `prop_assert*` reporting —
+//! but deliberately omits shrinking and failure persistence: a failing
+//! case panics with its seed and message instead of minimising. The
+//! `*.proptest-regressions` files in the repo are ignored.
+//!
+//! Supported surface: `proptest!` (with optional
+//! `#![proptest_config(...)]`), `any::<T>()`, ranges as strategies,
+//! tuples of strategies, `Just`, `prop_map`, `prop_oneof!` (weighted and
+//! unweighted), `prop::sample::select`, `proptest::collection::{vec,
+//! btree_set, hash_set}`, `proptest::option::of`, and
+//! `ProptestConfig::with_cases`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs `cases` times with deterministically seeded inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                $crate::test_runner::run_cases(stringify!($name), &__cfg, |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample_value(&($strat), __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Choose among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((($weight) as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assert within a property test; failure rejects the case with a
+/// message instead of unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both operands.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            left,
+            format!($($fmt)+)
+        );
+    }};
+}

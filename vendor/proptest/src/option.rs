@@ -1,0 +1,27 @@
+//! Optional values (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// `Some` from the inner strategy three times out of four, else `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Output of [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+        if rng.gen_bool(0.75) {
+            Some(self.inner.sample_value(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Uniform choice from an explicit list (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A strategy selecting uniformly from `items`.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select requires a non-empty list");
+    Select { items }
+}
+
+/// Output of [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        self.items[rng.gen_range(0..self.items.len())].clone()
+    }
+}

@@ -1,0 +1,225 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// simply samples a value from the case RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Sample one value.
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// Weighted choice among boxed strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> OneOf<T> {
+    /// Build from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.sample_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// String-pattern strategies: real proptest interprets a `&str` as a
+/// regex over generated strings. This stand-in supports the one shape
+/// the workspace uses — `.{m,n}` (any chars, length in `[m, n]`) — and
+/// rejects anything else loudly so a new pattern is noticed immediately.
+impl Strategy for str {
+    type Value = String;
+
+    fn sample_value(&self, rng: &mut StdRng) -> String {
+        let inner = self
+            .strip_prefix(".{")
+            .and_then(|s| s.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern {self:?}"));
+        let (lo, hi) = inner
+            .split_once(',')
+            .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern {self:?}"));
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| {
+                // Bias toward the characters the parsers under test care
+                // about, with occasional arbitrary unicode.
+                const COMMON: &[u8] = b"0123456789./ \t#abcxyzABC:-\n";
+                match rng.gen_range(0u32..10) {
+                    0 => char::from_u32(rng.gen_range(1u32..0xD800)).unwrap_or('\u{FFFD}'),
+                    1..=3 => rng.gen_range(b' '..=b'~') as char,
+                    _ => COMMON[rng.gen_range(0..COMMON.len())] as char,
+                }
+            })
+            .collect()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+ $(,)?) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut r = rng();
+        let s = (0u8..=32, 5u32..10);
+        for _ in 0..500 {
+            let (a, b) = s.sample_value(&mut r);
+            assert!(a <= 32);
+            assert!((5..10).contains(&b));
+        }
+    }
+
+    #[test]
+    fn map_and_just() {
+        let mut r = rng();
+        let s = Just(7u32).prop_map(|x| x * 2);
+        assert_eq!(s.sample_value(&mut r), 14);
+    }
+
+    #[test]
+    fn oneof_respects_weights() {
+        let mut r = rng();
+        let s: OneOf<u32> = OneOf::new(vec![(9, Just(0u32).boxed()), (1, Just(1u32).boxed())]);
+        let ones: u32 = (0..2_000).map(|_| s.sample_value(&mut r)).sum();
+        assert!((100..350).contains(&ones), "ones {ones}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Case execution: deterministic per-(test, case) seeding, no shrinking.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (only `cases` is meaningful here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; these suites all override it,
+        // and 64 keeps any future un-configured block fast.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed case (the `Err` side of a property body).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Reject the current case with `reason`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// FNV-1a, so each test gets a stable, name-derived seed stream.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `body` for every case, panicking (with the case number, so a
+/// failure is reproducible — generation is deterministic) on the first
+/// failure.
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut body: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let base = fnv1a(name);
+    for case in 0..config.cases {
+        let seed = base ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest '{name}' failed at case {case}/{}: {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exactly_cases_times() {
+        let mut n = 0;
+        run_cases("counter", &ProptestConfig::with_cases(17), |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_panics_with_case_number() {
+        run_cases("fails", &ProptestConfig::with_cases(5), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -1,0 +1,195 @@
+//! Distributions: the `Standard` uniform-bits distribution and uniform
+//! range sampling, mirroring the shapes of `rand::distributions`.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Sample one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The uniform "all bit patterns" distribution (floats: uniform in
+/// `[0, 1)`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty => $conv:expr),+ $(,)?) => {
+        $(impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                let f: fn(&mut R) -> $t = $conv;
+                f(rng)
+            }
+        })+
+    };
+}
+
+standard_int! {
+    u8 => |r| r.next_u32() as u8,
+    u16 => |r| r.next_u32() as u16,
+    u32 => |r| r.next_u32(),
+    u64 => |r| r.next_u64(),
+    usize => |r| r.next_u64() as usize,
+    i8 => |r| r.next_u32() as i8,
+    i16 => |r| r.next_u32() as i16,
+    i32 => |r| r.next_u32() as i32,
+    i64 => |r| r.next_u64() as i64,
+    isize => |r| r.next_u64() as isize,
+    u128 => |r| ((r.next_u64() as u128) << 64) | r.next_u64() as u128,
+    i128 => |r| (((r.next_u64() as u128) << 64) | r.next_u64() as u128) as i128,
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi]` (inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),+ $(,)?) => {
+        $(impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span == 0 {
+                    // Full-width range: every bit pattern is valid.
+                    let any: Self = Standard.sample(rng);
+                    return any;
+                }
+                // Widening multiply keeps the modulo bias below 2^-64 for
+                // every span this workspace uses.
+                let draw = ((rng.next_u64() as u128) * span) >> 64;
+                (lo as i128 + draw as i128) as $t
+            }
+        })+
+    };
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for u128 {
+    #[inline]
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        debug_assert!(lo <= hi);
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            return Standard.sample(rng);
+        }
+        let draw: u128 = Standard.sample(rng);
+        lo.wrapping_add(draw % span)
+    }
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let unit: f64 = Standard.sample(rng);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Range-like arguments accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Sample one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy + OneStep> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range on an empty range");
+        T::sample_inclusive(rng, self.start, self.end.prev())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy + OneStep> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on an empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Helper: the value one step below `self` (for half-open ranges).
+pub trait OneStep {
+    /// Predecessor of `self`.
+    fn prev(self) -> Self;
+}
+
+macro_rules! one_step_int {
+    ($($t:ty),+ $(,)?) => {
+        $(impl OneStep for $t {
+            #[inline]
+            fn prev(self) -> Self {
+                self - 1
+            }
+        })+
+    };
+}
+
+one_step_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+impl OneStep for f64 {
+    #[inline]
+    fn prev(self) -> Self {
+        // Half-open float ranges sample `[lo, hi)` directly; the uniform
+        // draw already excludes 1.0, so the bound is unchanged.
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2_000 {
+            match rng.gen_range(0u8..=3) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn u128_standard_uses_both_halves() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v: u128 = rng.gen();
+        assert_ne!(v >> 64, 0);
+        assert_ne!(v & u128::from(u64::MAX), 0);
+    }
+}
