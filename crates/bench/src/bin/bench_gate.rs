@@ -23,10 +23,18 @@
 //!   by per-event work both engines share, so the scan must merely
 //!   stay out of the way.
 //!
-//! Exits non-zero if either bound is violated, so CI can run it as a
+//! After the engine gate it runs the **lookup-throughput gate** (a
+//! compact version of `bench_lookup`): replay a stress trace through
+//! the three gated LPM engines, scalar vs batched, and enforce the
+//! batch-speedup floors (≥ 1.5× on DIR-24-8 and Lulea, ≥ 1.0× on the
+//! DP trie). Those rows are appended to `BENCH_lookup.json` next to the
+//! sim output.
+//!
+//! Exits non-zero if any bound is violated, so CI can run it as a
 //! smoke test: `bench_gate --quick`. Other flags: `--packets N`,
 //! `--seed N`, `--out PATH`.
 
+use spal_bench::lookup;
 use spal_cache::LrCacheConfig;
 use spal_rib::{synth, RoutingTable};
 use spal_sim::{EngineMode, RouterKind, RouterSim, SimConfig, SimReport};
@@ -261,6 +269,35 @@ fn main() {
     let out = opts.out.as_deref().unwrap_or(default_out);
     write_json(out, &rows).expect("writing benchmark JSON");
     println!("wrote {} rows to {out}", rows.len());
+
+    // Lookup-throughput gate: batch vs scalar on the gated engines, a
+    // compact version of the full `bench_lookup` sweep (one thread,
+    // gated engines only), appended to BENCH_lookup.json for tracking.
+    // The workload must match bench_lookup's scale: on a smaller table
+    // the engines turn cache-resident and the ratio measures ILP alone,
+    // under-reporting the prefetch win the floor was set against.
+    let lookup_packets = (opts.packets_per_lc * 2).max(100_000);
+    let (lookup_table, lookup_trace) =
+        lookup::stress_workload(lookup::STRESS_PREFIXES, lookup_packets, opts.seed);
+    println!(
+        "lookup gate: {} packets ({} distinct), table {} prefixes",
+        lookup_trace.len(),
+        lookup_trace.distinct(),
+        lookup_table.len()
+    );
+    let engines = lookup::build_engines(&lookup_table, &lookup::GATED_ALGORITHMS);
+    let (lookup_rows, lookup_failures) = lookup::run_gate(&engines, &lookup_trace, 1);
+    failures.extend(lookup_failures);
+    let lookup_out = if out.contains("BENCH_sim") {
+        out.replace("BENCH_sim", "BENCH_lookup")
+    } else {
+        std::path::Path::new(out)
+            .with_file_name("BENCH_lookup.json")
+            .to_string_lossy()
+            .into_owned()
+    };
+    lookup::write_rows(&lookup_out, &lookup_rows, true).expect("writing lookup JSON");
+    println!("appended {} lookup rows to {lookup_out}", lookup_rows.len());
 
     if !failures.is_empty() {
         eprintln!("bench_gate FAILED:");

@@ -1,0 +1,125 @@
+//! **Lookup-throughput benchmark and gate**: replay one destination
+//! trace through every LPM engine, scalar vs batched, across a thread
+//! sweep, and write `BENCH_lookup.json` at the repo root for
+//! PR-over-PR tracking.
+//!
+//! For each engine the trace is sharded contiguously across scoped
+//! worker threads sharing one `Arc<dyn Lpm + Send + Sync>`; each worker
+//! replays its shard either one `lookup_counted` call per address
+//! (scalar — the pre-batch hot path) or through `lookup_batch` in
+//! 32-address chunks. Scalar and batch checksums are asserted equal, so
+//! every benchmark run re-verifies the batch contract on real traffic.
+//!
+//! The gate (enforced at one thread, where the ratio is a pure
+//! batch-vs-scalar comparison): batch ≥ 1.5× scalar packets/sec on
+//! DIR-24-8 and Lulea, ≥ 1.0× on the pointer-heavier DP trie. Exits
+//! non-zero on a violation so CI can run `bench_lookup --quick`.
+//! Flags: `--quick`, `--packets N`, `--seed N`, `--threads N`,
+//! `--out PATH`.
+
+use spal_bench::lookup::{all_engines, run_gate, stress_workload, write_rows, DEFAULT_BATCH};
+
+struct Options {
+    packets: usize,
+    prefixes: usize,
+    seed: u64,
+    threads: Option<usize>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        packets: 400_000,
+        prefixes: spal_bench::lookup::STRESS_PREFIXES,
+        seed: 1,
+        threads: None,
+        out: None,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.packets = 100_000,
+            "--packets" => {
+                i += 1;
+                opts.packets = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--packets needs a number");
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--prefixes" => {
+                i += 1;
+                opts.prefixes = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--prefixes needs a number");
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--threads needs a number"),
+                );
+            }
+            "--out" => {
+                i += 1;
+                opts.out = Some(args.get(i).expect("--out needs a path").clone());
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let (table, trace) = stress_workload(opts.prefixes, opts.packets, opts.seed);
+    let threads_avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut thread_sweep = vec![1usize];
+    match opts.threads {
+        Some(n) if n > 1 => thread_sweep.push(n),
+        Some(_) => {}
+        None if threads_avail > 1 => thread_sweep.push(threads_avail),
+        None => {}
+    }
+    println!(
+        "bench_lookup: {} packets ({} distinct), table {} prefixes, threads {:?}, batch {}",
+        trace.len(),
+        trace.distinct(),
+        table.len(),
+        thread_sweep,
+        DEFAULT_BATCH
+    );
+
+    let engines = all_engines(&table);
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for &threads in &thread_sweep {
+        let (r, f) = run_gate(&engines, &trace, threads);
+        rows.extend(r);
+        failures.extend(f);
+    }
+
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lookup.json");
+    let out = opts.out.as_deref().unwrap_or(default_out);
+    write_rows(out, &rows, false).expect("writing benchmark JSON");
+    println!("wrote {} rows to {out}", rows.len());
+
+    if !failures.is_empty() {
+        eprintln!("bench_lookup FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench_lookup passed");
+}

@@ -3,6 +3,7 @@
 //! micro-benches.
 
 pub mod fmt;
+pub mod lookup;
 pub mod setup;
 
 pub use fmt::TablePrinter;

@@ -7,7 +7,7 @@
 //! insert/withdraw, and is generic over address width so the IPv6
 //! extension (§6) can reuse it unchanged.
 
-use crate::{CountedLookup, Lpm};
+use crate::{CountedLookup, Lpm, BATCH_LANES};
 use spal_rib::bits::AddressBits;
 use spal_rib::{NextHop, RoutingTable};
 
@@ -157,11 +157,61 @@ impl BinaryTrie {
         }
         trie
     }
+
+    /// One interleaved group of [`BATCH_LANES`] lookups. Each round
+    /// advances every still-active lane one trie level, so the four
+    /// dependent child-pointer loads are in flight together instead of
+    /// one walk stalling to completion before the next starts. Per-lane
+    /// steps mirror [`GenericBinaryTrie::lookup_counted_generic`]
+    /// exactly, access counts included.
+    fn lookup_quad(&self, addrs: [u32; BATCH_LANES]) -> [CountedLookup; BATCH_LANES] {
+        let nodes = &self.nodes;
+        let mut node = [0usize; BATCH_LANES];
+        let mut best = [nodes[0].route; BATCH_LANES];
+        let mut acc = [1u32; BATCH_LANES]; // root read
+        let mut depth = [0u8; BATCH_LANES];
+        let mut active = [true; BATCH_LANES];
+        loop {
+            let mut any = false;
+            for l in 0..BATCH_LANES {
+                if !active[l] {
+                    continue;
+                }
+                if depth[l] >= 32 {
+                    active[l] = false;
+                    continue;
+                }
+                let child = nodes[node[l]].children[addrs[l].bit(depth[l]) as usize];
+                if child == NONE {
+                    active[l] = false;
+                    continue;
+                }
+                node[l] = child as usize;
+                acc[l] += 1;
+                if let Some(nh) = nodes[node[l]].route {
+                    best[l] = Some(nh);
+                }
+                depth[l] += 1;
+                any = true;
+            }
+            if !any {
+                break;
+            }
+        }
+        std::array::from_fn(|l| CountedLookup {
+            next_hop: best[l],
+            mem_accesses: acc[l],
+        })
+    }
 }
 
 impl Lpm for BinaryTrie {
     fn lookup_counted(&self, addr: u32) -> CountedLookup {
         self.lookup_counted_generic(addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[u32], out: &mut [CountedLookup]) {
+        crate::run_quads(self, addrs, out, BinaryTrie::lookup_quad);
     }
 
     fn storage_bytes(&self) -> usize {

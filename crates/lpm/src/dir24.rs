@@ -9,7 +9,7 @@
 //! (> 32 Mbytes)" — the antithesis of SPAL's small-SRAM goal — while
 //! lookups run at memory speed.
 
-use crate::{CountedLookup, Lpm};
+use crate::{prefetch_slice, CountedLookup, Lpm};
 use spal_rib::{NextHop, RoutingTable};
 
 /// First-level entries: 15-bit payload plus a "long" flag, as in the
@@ -111,7 +111,25 @@ impl Dir24_8 {
     }
 }
 
+/// How many addresses ahead of the resolve point the batch path issues
+/// its first-level prefetch. The 16 M-entry `tbl24` misses cache on
+/// almost every distinct /24, and eight independent lookups keep the
+/// miss pipeline full without racing past the prefetcher's usefulness.
+const PREFETCH_AHEAD: usize = 8;
+
 impl Lpm for Dir24_8 {
+    /// Uncounted fast path: same two table reads, no `CountedLookup`
+    /// bookkeeping on the (dominant) single-access branch.
+    fn lookup(&self, addr: u32) -> Option<NextHop> {
+        let e = self.tbl24[(addr >> 8) as usize];
+        let v = if e & LONG_FLAG == 0 {
+            e
+        } else {
+            self.tbl_long[(e & !LONG_FLAG) as usize * 256 + (addr & 0xFF) as usize]
+        };
+        (v != MISS).then_some(NextHop(v))
+    }
+
     fn lookup_counted(&self, addr: u32) -> CountedLookup {
         let e = self.tbl24[(addr >> 8) as usize];
         if e & LONG_FLAG == 0 {
@@ -125,6 +143,38 @@ impl Lpm for Dir24_8 {
         CountedLookup {
             next_hop: (v != MISS).then_some(NextHop(v)),
             mem_accesses: 2,
+        }
+    }
+
+    /// Index-ahead batch path: the first level is a single dependent
+    /// load per lookup, so the whole win is memory-level parallelism —
+    /// prefetch the `tbl24` line [`PREFETCH_AHEAD`] addresses before it
+    /// is needed, then resolve in a tight loop the compiler keeps free
+    /// of per-call overhead.
+    fn lookup_batch(&self, addrs: &[u32], out: &mut [CountedLookup]) {
+        assert_eq!(
+            addrs.len(),
+            out.len(),
+            "lookup_batch: addrs and out must have equal lengths"
+        );
+        for (i, (&addr, o)) in addrs.iter().zip(out.iter_mut()).enumerate() {
+            if let Some(&ahead) = addrs.get(i + PREFETCH_AHEAD) {
+                prefetch_slice(&self.tbl24, (ahead >> 8) as usize);
+            }
+            let e = self.tbl24[(addr >> 8) as usize];
+            *o = if e & LONG_FLAG == 0 {
+                CountedLookup {
+                    next_hop: (e != MISS).then_some(NextHop(e)),
+                    mem_accesses: 1,
+                }
+            } else {
+                let seg = (e & !LONG_FLAG) as usize;
+                let v = self.tbl_long[seg * 256 + (addr & 0xFF) as usize];
+                CountedLookup {
+                    next_hop: (v != MISS).then_some(NextHop(v)),
+                    mem_accesses: 2,
+                }
+            };
         }
     }
 
@@ -210,6 +260,22 @@ mod tests {
         let d = Dir24_8::build(&rt);
         assert!(d.storage_bytes() > 32 << 20);
         assert_eq!(d.route_count(), rt.len());
+    }
+
+    #[test]
+    fn batch_and_uncounted_match_scalar() {
+        use rand::{Rng, SeedableRng};
+        let rt = synth::small(121);
+        let d = Dir24_8::build(&rt);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        // 515 = an unaligned tail past the 4-lane groups.
+        let addrs: Vec<u32> = (0..515).map(|_| rng.gen()).collect();
+        let mut out = vec![CountedLookup::MISS; addrs.len()];
+        d.lookup_batch(&addrs, &mut out);
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(out[i], d.lookup_counted(a), "addr {a:#010x}");
+            assert_eq!(d.lookup(a), out[i].next_hop, "addr {a:#010x}");
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! condensed to the standard radix insert/withdraw with node splitting and
 //! pruning; no experiment in the paper exercises more.
 
-use crate::{CountedLookup, Lpm};
+use crate::{CountedLookup, Lpm, BATCH_LANES};
 use spal_rib::{NextHop, Prefix, RoutingTable};
 
 /// Bytes per DP-trie node under the paper's model (§4): 1 index byte +
@@ -269,6 +269,59 @@ impl BitAt for u32 {
     }
 }
 
+impl DpTrie {
+    /// One interleaved group of [`BATCH_LANES`] lookups: each round runs
+    /// exactly one iteration of the scalar descent (route check, branch
+    /// bit, child read, label compare) on every still-active lane, so
+    /// the four path-compressed chains' node reads overlap. Per-lane
+    /// logic mirrors [`DpTrie::lookup_counted`] step for step.
+    fn lookup_quad(&self, addrs: [u32; BATCH_LANES]) -> [CountedLookup; BATCH_LANES] {
+        let nodes = &self.nodes;
+        let mut cur = [0usize; BATCH_LANES];
+        let mut best: [Option<NextHop>; BATCH_LANES] = [None; BATCH_LANES];
+        let mut acc = [1u32; BATCH_LANES]; // root node read
+        let mut active = [true; BATCH_LANES];
+        loop {
+            let mut any = false;
+            for l in 0..BATCH_LANES {
+                if !active[l] {
+                    continue;
+                }
+                let n = &nodes[cur[l]];
+                if let Some(nh) = n.route {
+                    best[l] = Some(nh);
+                }
+                if n.key_len >= 32 {
+                    active[l] = false;
+                    continue;
+                }
+                let child = n.children[addrs[l].bit(n.key_len) as usize];
+                if child == NONE {
+                    active[l] = false;
+                    continue;
+                }
+                let c = &nodes[child as usize];
+                acc[l] += 1;
+                if addrs[l] & mask(c.key_len) != c.key_bits {
+                    active[l] = false;
+                    continue;
+                }
+                cur[l] = child as usize;
+                any = true;
+            }
+            if !any {
+                break;
+            }
+        }
+        std::array::from_fn(|l| CountedLookup {
+            next_hop: best[l],
+            // Next-hop (data pointer) read on a match, as in the scalar
+            // path.
+            mem_accesses: acc[l] + best[l].is_some() as u32,
+        })
+    }
+}
+
 impl Lpm for DpTrie {
     fn lookup_counted(&self, addr: u32) -> CountedLookup {
         let mut cur = 0u32;
@@ -308,6 +361,10 @@ impl Lpm for DpTrie {
             next_hop: best,
             mem_accesses: accesses,
         }
+    }
+
+    fn lookup_batch(&self, addrs: &[u32], out: &mut [CountedLookup]) {
+        crate::run_quads(self, addrs, out, DpTrie::lookup_quad);
     }
 
     fn storage_bytes(&self) -> usize {

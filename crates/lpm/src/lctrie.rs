@@ -13,7 +13,7 @@
 //! correct (see `lookup_counted`). Branching never inspects bits past the
 //! shortest string in a range, so no leaf prefix can be skipped over.
 
-use crate::{CountedLookup, Lpm};
+use crate::{CountedLookup, Lpm, BATCH_LANES};
 use spal_rib::{NextHop, Prefix, RoutingTable};
 
 /// Modelled bytes per trie node: branch/skip/address packed in 32 bits.
@@ -374,6 +374,10 @@ impl Lpm for LcTrie {
         self.lookup_inner(addr)
     }
 
+    fn lookup_batch(&self, addrs: &[u32], out: &mut [CountedLookup]) {
+        crate::run_quads(self, addrs, out, LcTrie::lookup_quad);
+    }
+
     fn storage_bytes(&self) -> usize {
         self.nodes.len() * NODE_BYTES
             + self.base.len() * BASE_BYTES
@@ -398,6 +402,13 @@ impl LcTrie {
             node = self.nodes[node.adr as usize + idx];
             accesses += 1;
         }
+        self.finish_lookup(addr, node, accesses)
+    }
+
+    /// Resolve a finished trie walk: base-vector read, full-match test,
+    /// then the prefix-chain fallback. Shared between the scalar and
+    /// batch paths so both count accesses identically.
+    fn finish_lookup(&self, addr: u32, node: Node, mut accesses: u32) -> CountedLookup {
         if node.adr == NONE {
             return CountedLookup {
                 next_hop: None,
@@ -433,6 +444,38 @@ impl LcTrie {
             next_hop: None,
             mem_accesses: accesses,
         }
+    }
+
+    /// One interleaved group of [`BATCH_LANES`] lookups. The level walk
+    /// advances each still-branching lane one node per round so the four
+    /// dependent child-array reads overlap; finished lanes park on their
+    /// leaf until the group drains, then every lane resolves through
+    /// [`LcTrie::finish_lookup`] — the same code the scalar path runs, so
+    /// results and access counts are identical by construction.
+    fn lookup_quad(&self, addrs: [u32; BATCH_LANES]) -> [CountedLookup; BATCH_LANES] {
+        let nodes = &self.nodes;
+        let mut node = [nodes[0]; BATCH_LANES];
+        let mut pos = [0u8; BATCH_LANES];
+        let mut acc = [1u32; BATCH_LANES]; // root read
+        loop {
+            let mut any = false;
+            for l in 0..BATCH_LANES {
+                if node[l].branch == 0 {
+                    continue;
+                }
+                pos[l] += node[l].skip;
+                let shift = 32 - pos[l] as u32 - node[l].branch as u32;
+                let idx = ((addrs[l] >> shift) as usize) & ((1 << node[l].branch) - 1);
+                pos[l] += node[l].branch;
+                node[l] = nodes[node[l].adr as usize + idx];
+                acc[l] += 1;
+                any = true;
+            }
+            if !any {
+                break;
+            }
+        }
+        std::array::from_fn(|l| self.finish_lookup(addrs[l], node[l], acc[l]))
     }
 }
 

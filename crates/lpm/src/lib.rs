@@ -41,6 +41,51 @@ pub struct CountedLookup {
     pub mem_accesses: u32,
 }
 
+impl CountedLookup {
+    /// A zero-cost miss, for pre-sizing [`Lpm::lookup_batch`] output
+    /// buffers.
+    pub const MISS: CountedLookup = CountedLookup {
+        next_hop: None,
+        mem_accesses: 0,
+    };
+}
+
+impl Default for CountedLookup {
+    fn default() -> Self {
+        CountedLookup::MISS
+    }
+}
+
+/// Number of interleaved lanes the specialized batch lookups run — the
+/// VPP `lookup_four` width: four independent walks give the CPU enough
+/// in-flight loads to hide most node-read latency without spilling lane
+/// state out of registers.
+pub const BATCH_LANES: usize = 4;
+
+/// Best-effort software prefetch of `slice[index]` into L1. Out-of-range
+/// indices are ignored, so callers can prefetch speculatively. Compiles
+/// to `prefetcht0` on x86-64 and to nothing elsewhere (no unstable
+/// `core::intrinsics` involved) — on other targets the index-ahead batch
+/// structure alone still buys memory-level parallelism.
+#[inline(always)]
+pub fn prefetch_slice<T>(slice: &[T], index: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if index < slice.len() {
+        // SAFETY: the index is bounds-checked above and prefetch has no
+        // architectural effect beyond the cache.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                slice.as_ptr().add(index) as *const i8,
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (slice, index);
+    }
+}
+
 /// A longest-prefix-match structure built from a routing table.
 pub trait Lpm {
     /// Longest-prefix match for `addr`.
@@ -52,12 +97,61 @@ pub trait Lpm {
     /// §5.1 access measurements and the FE timing model.
     fn lookup_counted(&self, addr: u32) -> CountedLookup;
 
+    /// Batched longest-prefix match: fill `out[i]` with exactly what
+    /// `lookup_counted(addrs[i])` would return — same next hops, same
+    /// `mem_accesses` — for every `i`.
+    ///
+    /// The default implementation is the scalar loop, so every engine
+    /// supports batching; the flat-array and trie engines override it
+    /// with a [`BATCH_LANES`]-lane interleaved walk (VPP `lookup_four`
+    /// style) that advances each lane one node per round, so the lanes'
+    /// dependent loads overlap instead of serializing. The contract is
+    /// bit-identical results, pinned by the `batch_equiv` property suite.
+    ///
+    /// # Panics
+    /// Panics if `addrs` and `out` differ in length.
+    fn lookup_batch(&self, addrs: &[u32], out: &mut [CountedLookup]) {
+        assert_eq!(
+            addrs.len(),
+            out.len(),
+            "lookup_batch: addrs and out must have equal lengths"
+        );
+        for (o, &a) in out.iter_mut().zip(addrs) {
+            *o = self.lookup_counted(a);
+        }
+    }
+
     /// Bytes of SRAM the structure occupies under the paper's storage
     /// models (§4).
     fn storage_bytes(&self) -> usize;
 
     /// Short human-readable algorithm name ("DP", "Lulea", "LC", …).
     fn name(&self) -> &'static str;
+}
+
+/// Shared driver for the engines' specialized batch paths: feed full
+/// [`BATCH_LANES`]-wide groups to `quad` and the unaligned tail to the
+/// scalar path.
+fn run_quads<L: Lpm>(
+    lpm: &L,
+    addrs: &[u32],
+    out: &mut [CountedLookup],
+    quad: impl Fn(&L, [u32; BATCH_LANES]) -> [CountedLookup; BATCH_LANES],
+) {
+    assert_eq!(
+        addrs.len(),
+        out.len(),
+        "lookup_batch: addrs and out must have equal lengths"
+    );
+    let mut i = 0;
+    while i + BATCH_LANES <= addrs.len() {
+        let group = [addrs[i], addrs[i + 1], addrs[i + 2], addrs[i + 3]];
+        out[i..i + BATCH_LANES].copy_from_slice(&quad(lpm, group));
+        i += BATCH_LANES;
+    }
+    for k in i..addrs.len() {
+        out[k] = lpm.lookup_counted(addrs[k]);
+    }
 }
 
 /// Mean memory accesses per lookup over a set of addresses.

@@ -24,7 +24,7 @@
 //! pointer, chunk reads, next-hop table), which on backbone tables lands
 //! near the 6–7 accesses/lookup the paper measures in §5.1.
 
-use crate::{CountedLookup, Lpm};
+use crate::{prefetch_slice, CountedLookup, Lpm, BATCH_LANES};
 use spal_rib::{NextHop, RoutingTable};
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -157,6 +157,14 @@ impl CodedVector {
     /// accesses performed (codeword, base when present, maptable).
     #[inline]
     fn head_index(&self, pos: usize) -> (usize, u32) {
+        self.head_index_mt(maptable(), pos)
+    }
+
+    /// [`CodedVector::head_index`] with the maptable passed in, so batch
+    /// callers resolve the `OnceLock` once per group instead of once per
+    /// lane.
+    #[inline]
+    fn head_index_mt(&self, mt: &MapTable, pos: usize) -> (usize, u32) {
         let chunk = pos / 16;
         let within = pos % 16;
         let cw = self.codewords[chunk];
@@ -167,10 +175,25 @@ impl CodedVector {
             accesses += 1; // base index read
             self.bases[chunk / 4]
         };
-        let count = maptable().rows[cw.ten as usize][within] as u32;
+        let count = mt.rows[cw.ten as usize][within] as u32;
         accesses += 1; // maptable read
         let idx = base + cw.six as u32 + count - 1;
         (idx as usize, accesses)
+    }
+
+    /// [`CodedVector::head_index`] without the access bookkeeping, for
+    /// the uncounted [`Lpm::lookup`] fast path.
+    #[inline]
+    fn head_index_plain(&self, pos: usize) -> usize {
+        let chunk = pos / 16;
+        let cw = self.codewords[chunk];
+        let base = if self.bases.is_empty() {
+            0
+        } else {
+            self.bases[chunk / 4]
+        };
+        let count = maptable().rows[cw.ten as usize][pos % 16] as u32;
+        (base + cw.six as u32 + count - 1) as usize
     }
 
     /// Modelled bytes: 2 per codeword, 2 per base index.
@@ -228,22 +251,63 @@ impl Chunk {
     /// Resolve the 8 address bits `pos` within this chunk: the governing
     /// pointer and the access count.
     fn resolve(&self, pos: usize) -> (Val, u32) {
+        let (ptrs, idx, accesses) = self.locate(maptable(), pos);
+        (ptrs[idx], accesses + 1) // + pointer read
+    }
+
+    /// First half of [`Chunk::resolve`]: find the governing pointer's
+    /// index without reading it, so the batched walk can prefetch the
+    /// pointer and defer the read to a later lane pass. The access
+    /// count covers everything *except* that deferred pointer read.
+    #[inline]
+    fn locate(&self, mt: &MapTable, pos: usize) -> (&[Val], usize, u32) {
         match self {
             Chunk::Sparse { heads, ptrs } => {
                 // One access reads the (24-byte) head block, one reads the
-                // selected pointer.
-                let idx = match heads.binary_search(&(pos as u8)) {
-                    Ok(i) => i,
-                    Err(0) => 0, // cannot happen: slot 0 is always a head
-                    Err(i) => i - 1,
-                };
-                (ptrs[idx], 2)
+                // selected pointer. The governing head is the last one at
+                // or before `pos`; a branchless rank beats a binary search
+                // here, whose ~3 data-dependent branches mispredict freely
+                // on random addresses. Slot 0 is always a head, so the
+                // rank is ≥ 1 (`saturating_sub` only guards corruption).
+                let mut rank = 0usize;
+                for &h in heads {
+                    rank += (h as usize <= pos) as usize;
+                }
+                (ptrs, rank.saturating_sub(1), 1)
             }
             Chunk::Dense { vec, ptrs } | Chunk::VeryDense { vec, ptrs } => {
-                let (idx, accesses) = vec.head_index(pos);
-                (ptrs[idx], accesses + 1) // + pointer read
+                let (idx, accesses) = vec.head_index_mt(mt, pos);
+                (ptrs, idx, accesses)
             }
         }
+    }
+
+    /// Prefetch the chunk-internal arrays a lookup of `pos` will read.
+    /// Reads only the chunk header (which the caller has already
+    /// prefetched a stage earlier), so issuing this one lane pass before
+    /// [`Chunk::locate`] overlaps the header → inner-array dependent
+    /// miss across all lanes of a batch group.
+    #[inline]
+    fn prefetch_inner(&self, pos: usize) {
+        match self {
+            Chunk::Sparse { heads, ptrs } => {
+                prefetch_slice(heads, 0);
+                prefetch_slice(ptrs, 0);
+            }
+            Chunk::Dense { vec, .. } | Chunk::VeryDense { vec, .. } => {
+                prefetch_slice(&vec.codewords, pos / 16);
+                if !vec.bases.is_empty() {
+                    prefetch_slice(&vec.bases, pos / 16 / 4);
+                }
+            }
+        }
+    }
+
+    /// [`Chunk::resolve`] without the access bookkeeping.
+    #[inline]
+    fn resolve_plain(&self, pos: usize) -> Val {
+        let (ptrs, idx, _) = self.locate(maptable(), pos);
+        ptrs[idx]
     }
 
     /// Modelled bytes (§4): sparse chunks are fixed 8×1 B heads + 8×2 B
@@ -470,7 +534,174 @@ fn build_chunk(
     Chunk::build(&slots)
 }
 
+/// Lanes per interleaved batch group. Lulea's descent is three short
+/// *uniform* stages (every lane reads codeword → base → maptable →
+/// pointer at the same level), so unlike the pointer-chasing tries —
+/// whose lane state must stay in registers across a variable-length
+/// walk — it profits from groups wide enough to keep the memory
+/// system's full complement of outstanding misses in flight per stage.
+const WIDE_LANES: usize = 16;
+
+impl LuleaTrie {
+    /// One interleaved group of `N` lookups, staged level by level: all
+    /// lanes read their level-1 codewords (prefetched up front), then
+    /// all lanes descend into level 2, then level 3, with the next
+    /// level's chunk headers prefetched between stages. Within a stage
+    /// the lanes' reads are independent, so they overlap where the
+    /// scalar walk would serialize one lookup's codeword → base →
+    /// maptable → pointer chain after another's. Per-lane arithmetic is
+    /// identical to [`LuleaTrie::lookup_counted`], so results and
+    /// access counts match bit for bit.
+    /// One level of the batched descent (`chunks` is `l2` or `l3`,
+    /// `shift` selects the 8 address bits), software-pipelined over the
+    /// lanes still pointing into this level in three passes: read each
+    /// lane's chunk header (prefetched when the pointer into it was
+    /// written) and prefetch the chunk-internal arrays; locate the
+    /// governing pointers and prefetch them; read the pointers and
+    /// immediately prefetch whatever they target next (a chunk header
+    /// in `next`, or a next-hop entry). Each pass issues every active
+    /// lane's miss before any lane needs its result, so the level costs
+    /// one memory latency for the whole group instead of a serial chain
+    /// per lane.
+    /// Returns how many lanes still hold a [`Val::Sub`] afterwards, so
+    /// the caller can skip the next level's passes when none descend.
+    #[allow(clippy::too_many_arguments)] // the args are the pipeline's lane state
+    fn descend_group<const N: usize>(
+        &self,
+        mt: &MapTable,
+        chunks: &[Chunk],
+        next: Option<&[Chunk]>,
+        addrs: &[u32; N],
+        val: &mut [Val; N],
+        acc: &mut [u32; N],
+        shift: u32,
+    ) -> usize {
+        let mut cur: [Option<&Chunk>; N] = [None; N];
+        for l in 0..N {
+            if let Val::Sub(id) = val[l] {
+                let chunk = &chunks[id as usize];
+                chunk.prefetch_inner(((addrs[l] >> shift) & 0xFF) as usize);
+                cur[l] = Some(chunk);
+            }
+        }
+        let mut located: [Option<(&[Val], usize)>; N] = [None; N];
+        for l in 0..N {
+            if let Some(chunk) = cur[l] {
+                let pos = ((addrs[l] >> shift) & 0xFF) as usize;
+                let (ptrs, idx, a) = chunk.locate(mt, pos);
+                prefetch_slice(ptrs, idx);
+                located[l] = Some((ptrs, idx));
+                acc[l] += a + 1; // + the pointer read performed below
+            }
+        }
+        let mut descending = 0;
+        for l in 0..N {
+            if let Some((ptrs, idx)) = located[l] {
+                let v = ptrs[idx];
+                val[l] = v;
+                match v {
+                    Val::Sub(id) => {
+                        descending += 1;
+                        if let Some(next) = next {
+                            prefetch_slice(next, id as usize);
+                        }
+                    }
+                    Val::Nh(i) => prefetch_slice(&self.next_hops, i as usize),
+                    Val::Miss => {}
+                }
+            }
+        }
+        descending
+    }
+
+    fn lookup_group<const N: usize>(&self, addrs: [u32; N]) -> [CountedLookup; N] {
+        for &a in &addrs {
+            prefetch_slice(&self.l1.codewords, (a >> 16) as usize / 16);
+        }
+        let mt = maptable();
+        let mut val = [Val::Miss; N];
+        let mut acc = [0u32; N];
+        let mut descending = 0;
+        for l in 0..N {
+            let (head, a) = self.l1.head_index_mt(mt, (addrs[l] >> 16) as usize);
+            let v = self.l1_ptrs[head];
+            val[l] = v;
+            acc[l] = a + 1; // pointer read
+            match v {
+                Val::Sub(id) => {
+                    descending += 1;
+                    prefetch_slice(&self.l2, id as usize);
+                }
+                Val::Nh(i) => prefetch_slice(&self.next_hops, i as usize),
+                Val::Miss => {}
+            }
+        }
+        if descending > 0 {
+            let deeper =
+                self.descend_group(mt, &self.l2, Some(&self.l3), &addrs, &mut val, &mut acc, 8);
+            if deeper > 0 {
+                self.descend_group(mt, &self.l3, None, &addrs, &mut val, &mut acc, 0);
+            }
+        }
+        let mut out = [CountedLookup::MISS; N];
+        for l in 0..N {
+            out[l] = match val[l] {
+                Val::Miss => CountedLookup {
+                    next_hop: None,
+                    mem_accesses: acc[l],
+                },
+                Val::Nh(i) => CountedLookup {
+                    next_hop: Some(self.next_hops[i as usize]),
+                    mem_accesses: acc[l] + 1, // next-hop table read
+                },
+                Val::Sub(_) => unreachable!("level 3 never points deeper"),
+            };
+        }
+        out
+    }
+}
+
 impl Lpm for LuleaTrie {
+    /// Uncounted fast path: the same three-level descent minus the
+    /// per-level access bookkeeping the counted walk threads through
+    /// every codeword/base/maptable read.
+    fn lookup(&self, addr: u32) -> Option<NextHop> {
+        let mut val = self.l1_ptrs[self.l1.head_index_plain((addr >> 16) as usize)];
+        if let Val::Sub(id) = val {
+            val = self.l2[id as usize].resolve_plain(((addr >> 8) & 0xFF) as usize);
+        }
+        if let Val::Sub(id) = val {
+            val = self.l3[id as usize].resolve_plain((addr & 0xFF) as usize);
+        }
+        match val {
+            Val::Miss => None,
+            Val::Nh(i) => Some(self.next_hops[i as usize]),
+            Val::Sub(_) => unreachable!("level 3 never points deeper"),
+        }
+    }
+
+    fn lookup_batch(&self, addrs: &[u32], out: &mut [CountedLookup]) {
+        assert_eq!(
+            addrs.len(),
+            out.len(),
+            "lookup_batch: addrs and out must have equal lengths"
+        );
+        let mut i = 0;
+        while i + WIDE_LANES <= addrs.len() {
+            let group: [u32; WIDE_LANES] = addrs[i..i + WIDE_LANES].try_into().expect("exact");
+            out[i..i + WIDE_LANES].copy_from_slice(&self.lookup_group(group));
+            i += WIDE_LANES;
+        }
+        while i + BATCH_LANES <= addrs.len() {
+            let group: [u32; BATCH_LANES] = addrs[i..i + BATCH_LANES].try_into().expect("exact");
+            out[i..i + BATCH_LANES].copy_from_slice(&self.lookup_group(group));
+            i += BATCH_LANES;
+        }
+        for k in i..addrs.len() {
+            out[k] = self.lookup_counted(addrs[k]);
+        }
+    }
+
     fn lookup_counted(&self, addr: u32) -> CountedLookup {
         let ix = (addr >> 16) as usize;
         let (head, mut accesses) = self.l1.head_index(ix);

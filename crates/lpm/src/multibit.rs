@@ -11,7 +11,7 @@
 //! expansion that removes backtracking: lookup inspects exactly one
 //! entry per level.
 
-use crate::{CountedLookup, Lpm};
+use crate::{CountedLookup, Lpm, BATCH_LANES};
 use spal_rib::{NextHop, RoutingTable};
 
 const NO_CHILD: u32 = u32::MAX;
@@ -141,6 +141,47 @@ impl MultibitTrie {
         }
     }
 
+    /// One interleaved group of [`BATCH_LANES`] lookups, walked
+    /// level-synchronously: every still-active lane does its slot read
+    /// for level `d` before any lane moves to level `d+1`, so the four
+    /// independent slot loads per level overlap. Per-lane steps mirror
+    /// [`MultibitTrie::lookup_counted`] exactly.
+    fn lookup_quad(&self, addrs: [u32; BATCH_LANES]) -> [CountedLookup; BATCH_LANES] {
+        let mut node = [0u32; BATCH_LANES];
+        let mut consumed = [0u8; BATCH_LANES];
+        let mut best: [Option<NextHop>; BATCH_LANES] = [None; BATCH_LANES];
+        let mut acc = [0u32; BATCH_LANES];
+        let mut active = [true; BATCH_LANES];
+        for level in 0..self.strides.len() {
+            let stride = self.strides[level];
+            for l in 0..BATCH_LANES {
+                if !active[l] {
+                    continue;
+                }
+                let base = self.nodes[node[l] as usize].base;
+                let idx = (addrs[l] >> (32 - consumed[l] - stride)) as usize & ((1 << stride) - 1);
+                let slot = self.slots[base + idx];
+                acc[l] += 1; // one slot read per level
+                if slot.result.is_some() {
+                    best[l] = slot.result;
+                }
+                if slot.child == NO_CHILD {
+                    active[l] = false;
+                    continue;
+                }
+                node[l] = slot.child;
+                consumed[l] += stride;
+            }
+            if active.iter().all(|&a| !a) {
+                break;
+            }
+        }
+        std::array::from_fn(|l| CountedLookup {
+            next_hop: best[l],
+            mem_accesses: acc[l].max(1),
+        })
+    }
+
     /// The stride vector.
     pub fn strides(&self) -> &[u8] {
         &self.strides
@@ -182,6 +223,10 @@ impl Lpm for MultibitTrie {
             next_hop: best,
             mem_accesses: accesses.max(1),
         }
+    }
+
+    fn lookup_batch(&self, addrs: &[u32], out: &mut [CountedLookup]) {
+        crate::run_quads(self, addrs, out, MultibitTrie::lookup_quad);
     }
 
     fn storage_bytes(&self) -> usize {

@@ -1,0 +1,87 @@
+//! Property test for the batched lookup contract: for **every** engine,
+//! `lookup_batch` must be bit-identical to per-address `lookup_counted`
+//! — next hops *and* modelled memory-access counts — for arbitrary
+//! tables, arbitrary address mixes, and every batch size from 1 to 64
+//! (covering unaligned tails of the 4- and 16-lane group drivers).
+
+use proptest::prelude::*;
+use spal_lpm::binary::BinaryTrie;
+use spal_lpm::dir24::Dir24_8;
+use spal_lpm::dp::DpTrie;
+use spal_lpm::lctrie::LcTrie;
+use spal_lpm::lulea::LuleaTrie;
+use spal_lpm::multibit::MultibitTrie;
+use spal_lpm::{CountedLookup, Lpm};
+use spal_rib::synth;
+
+/// Address mix: half biased near the table's prefixes (via the low-seed
+/// synth generator's preference for common first octets), half fully
+/// random, plus edge addresses — so batches mix hits, misses, shallow
+/// and deep walks.
+fn arb_addrs() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u32>(),
+            (0u32..=0xFF).prop_map(|hi| hi << 24 | 0x0101),
+            Just(0u32),
+            Just(u32::MAX),
+        ],
+        1..=130,
+    )
+}
+
+fn check_engine(lpm: &dyn Lpm, addrs: &[u32], batch: usize) -> Result<(), TestCaseError> {
+    let mut out = vec![CountedLookup::MISS; addrs.len()];
+    for (chunk, chunk_out) in addrs.chunks(batch).zip(out.chunks_mut(batch)) {
+        lpm.lookup_batch(chunk, &mut chunk_out[..chunk.len()]);
+    }
+    for (i, (&addr, &got)) in addrs.iter().zip(out.iter()).enumerate() {
+        let want = lpm.lookup_counted(addr);
+        prop_assert_eq!(
+            got.next_hop,
+            want.next_hop,
+            "{}: next hop diverged at index {} addr {:#010x} (batch size {})",
+            lpm.name(),
+            i,
+            addr,
+            batch
+        );
+        prop_assert_eq!(
+            got.mem_accesses,
+            want.mem_accesses,
+            "{}: access count diverged at index {} addr {:#010x} (batch size {})",
+            lpm.name(),
+            i,
+            addr,
+            batch
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    // Each case builds six engines over a fresh table; keep the count
+    // modest — the address/batch-size space inside a case is wide.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn batch_matches_scalar_on_every_engine(
+        table_size in 50usize..1200,
+        table_seed in 0u64..50,
+        addrs in arb_addrs(),
+        batch in 1usize..=64,
+    ) {
+        let table = synth::synthesize(&synth::SynthConfig::sized(table_size, table_seed));
+        let engines: Vec<Box<dyn Lpm>> = vec![
+            Box::new(Dir24_8::build(&table)),
+            Box::new(LuleaTrie::build(&table)),
+            Box::new(LcTrie::build(&table)),
+            Box::new(BinaryTrie::build(&table)),
+            Box::new(DpTrie::build(&table)),
+            Box::new(MultibitTrie::build_16_8_8(&table)),
+        ];
+        for lpm in &engines {
+            check_engine(lpm.as_ref(), &addrs, batch)?;
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Compile-time thread-safety assertions: every LPM engine must be
+//! `Send + Sync` so the multi-threaded trace-replay harness (and any
+//! future parallel forwarding engine) can share one structure across
+//! scoped worker threads behind an `Arc<dyn Lpm + Send + Sync>`. An
+//! engine growing interior mutability (`Cell`, `Rc`, raw pointers)
+//! breaks this file at compile time, long before a data race could.
+
+use spal_lpm::binary::BinaryTrie;
+use spal_lpm::dir24::Dir24_8;
+use spal_lpm::dp::DpTrie;
+use spal_lpm::lctrie::LcTrie;
+use spal_lpm::lulea::LuleaTrie;
+use spal_lpm::multibit::MultibitTrie;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn every_engine_is_send_and_sync() {
+    assert_send_sync::<Dir24_8>();
+    assert_send_sync::<LuleaTrie>();
+    assert_send_sync::<LcTrie>();
+    assert_send_sync::<BinaryTrie>();
+    assert_send_sync::<DpTrie>();
+    assert_send_sync::<MultibitTrie>();
+}

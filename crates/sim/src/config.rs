@@ -106,6 +106,15 @@ pub struct SimConfig {
     /// and [`EngineMode::Naive`] are report-identical; the switch exists
     /// for the equivalence suite and for perf comparisons.
     pub engine: EngineMode,
+    /// Drain FE arrival bursts through the batched lookup path: when an
+    /// FE starts a lookup and more jobs are queued behind it, resolve up
+    /// to a quad of addresses in one interleaved `lookup_batch` call and
+    /// stash the extra results for the jobs' own start cycles. The
+    /// forwarding table is immutable during a run and the batch contract
+    /// is bit-identical to scalar (access counts included), so reports
+    /// do not change — only host-side wall clock. Default on; the
+    /// switch exists for the equivalence suite and perf comparisons.
+    pub fe_batch: bool,
 }
 
 impl Default for SimConfig {
@@ -124,6 +133,7 @@ impl Default for SimConfig {
             measure_after_cycle: 0,
             seed: 1,
             engine: EngineMode::FastForward,
+            fe_batch: true,
         }
     }
 }

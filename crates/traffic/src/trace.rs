@@ -97,6 +97,40 @@ impl Trace {
             .collect()
     }
 
+    /// Iterate the destinations in contiguous chunks of at most `size`
+    /// addresses — the natural feed for `Lpm::lookup_batch` consumers
+    /// (the last chunk carries the unaligned tail).
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn batches(&self, size: usize) -> impl Iterator<Item = &[u32]> {
+        assert!(size >= 1, "batch size must be at least 1");
+        self.dests.chunks(size)
+    }
+
+    /// Split into `n` *contiguous* shards of near-equal length (first
+    /// `len % n` shards one longer), preserving each shard's arrival
+    /// order — the right cut for replaying one trace across worker
+    /// threads, where [`Trace::split`]'s round-robin interleave would
+    /// destroy the locality each worker sees.
+    pub fn shard_slices(&self, n: usize) -> Vec<Trace> {
+        assert!(n >= 1, "need at least one shard");
+        let base = self.len() / n;
+        let extra = self.len() % n;
+        let mut start = 0;
+        (0..n)
+            .map(|i| {
+                let len = base + usize::from(i < extra);
+                let shard = Trace::new(
+                    format!("{}@{}", self.name, i),
+                    self.dests[start..start + len].to_vec(),
+                );
+                start += len;
+                shard
+            })
+            .collect()
+    }
+
     /// Write one dotted-quad destination per line.
     pub fn write_text<W: Write>(&self, mut w: W) -> std::io::Result<()> {
         let mut buf = String::new();
@@ -178,6 +212,30 @@ mod tests {
         let t = Trace::new("x", vec![9, 8, 7]);
         let s = t.split(1);
         assert_eq!(s[0].destinations(), t.destinations());
+    }
+
+    #[test]
+    fn batches_cover_trace_in_order() {
+        let t = Trace::new("x", (0..10u32).collect());
+        let chunks: Vec<&[u32]> = t.batches(4).collect();
+        assert_eq!(chunks, vec![&[0, 1, 2, 3][..], &[4, 5, 6, 7], &[8, 9]]);
+        // One oversized batch yields the whole trace.
+        assert_eq!(t.batches(100).next().unwrap(), t.destinations());
+    }
+
+    #[test]
+    fn shard_slices_are_contiguous_and_balanced() {
+        let t = Trace::new("x", (0..11u32).collect());
+        let shards = t.shard_slices(3);
+        assert_eq!(shards[0].destinations(), &[0, 1, 2, 3]);
+        assert_eq!(shards[1].destinations(), &[4, 5, 6, 7]);
+        assert_eq!(shards[2].destinations(), &[8, 9, 10]);
+        assert_eq!(shards[0].name(), "x@0");
+        // More shards than packets: trailing shards are empty, nothing
+        // is lost.
+        let tiny = Trace::new("y", vec![1, 2]);
+        let s = tiny.shard_slices(4);
+        assert_eq!(s.iter().map(|t| t.len()).sum::<usize>(), 2);
     }
 
     #[test]
