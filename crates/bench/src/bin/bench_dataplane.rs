@@ -1,0 +1,356 @@
+//! **Dataplane throughput gate**: the multi-threaded SPAL runtime on
+//! the 600k-prefix stress workload, swept over worker counts, with and
+//! without BGP churn. Results go to `BENCH_dataplane.json`, one row per
+//! configuration:
+//!
+//! ```json
+//! {"benchmark": "dataplane", "config": "w4", "workers": 4,
+//!  "throughput_mpps": 3.1, "wall_ms": 812.4, "hit_rate": 0.01, ...}
+//! ```
+//!
+//! Gated bounds (all correctness bounds are unconditional; the
+//! throughput floors adapt to the host, reported in the output):
+//!
+//! * **correctness** — every run's checksum equals a scalar
+//!   full-table oracle replay (no churn), in-run spot checks against
+//!   `lookup_counted` on the pinned snapshot never disagree, and the
+//!   post-churn published table matches the control plane's RIB;
+//! * **scaling** — on hosts with ≥ 4 cores, 1 → 4 workers must reach
+//!   ≥ 2.0× aggregate throughput; on smaller hosts (CI containers are
+//!   often single-core) the sweep still runs but the floor drops to
+//!   0.2× — four workers time-sliced onto one core pay real context
+//!   switches per remote round trip, so the gate only catches the
+//!   concurrency machinery (rings, epochs, parked jobs) collapsing,
+//!   not the absence of parallel speedup;
+//! * **churn degradation** — with the control plane republishing under
+//!   a paced update stream, throughput at the widest sweep point must
+//!   stay ≥ 0.5× of the churn-free run (≥ 0.35× on < 4 cores, where
+//!   the control thread steals the only core).
+//!
+//! Exits non-zero on any violation so CI can run it:
+//! `bench_dataplane --quick`. Flags: `--packets N` (total per sweep
+//! point), `--prefixes N`, `--seed N`, `--out PATH`.
+
+use spal_bench::lookup;
+use spal_cache::LrCacheConfig;
+use spal_core::{ForwardingTable, LpmAlgorithm};
+use spal_dataplane::{run, ChurnConfig, DataplaneConfig, DataplaneReport};
+use spal_lpm::{CountedLookup, Lpm};
+use spal_traffic::Trace;
+use std::io::Write;
+
+const REPS: usize = 3;
+
+struct Options {
+    packets: usize,
+    prefixes: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        packets: 2_000_000,
+        prefixes: lookup::STRESS_PREFIXES,
+        seed: 1,
+        out: None,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                opts.packets = 200_000;
+                opts.prefixes = 60_000;
+            }
+            "--packets" => {
+                i += 1;
+                opts.packets = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--packets needs a number");
+            }
+            "--prefixes" => {
+                i += 1;
+                opts.prefixes = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--prefixes needs a number");
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--out" => {
+                i += 1;
+                opts.out = Some(args.get(i).expect("--out needs a path").clone());
+            }
+            "--rt1" => {}
+            other => panic!("unknown flag {other:?}"),
+        }
+        i += 1;
+    }
+    opts
+}
+
+struct Row {
+    config: String,
+    workers: usize,
+    churn: bool,
+    packets: u64,
+    throughput_mpps: f64,
+    wall_ms: f64,
+    hit_rate: f64,
+    rem_share: f64,
+    checksum_ok: Option<bool>,
+    spot_mismatches: u64,
+    final_mismatches: Option<u64>,
+    apply_mean_us: Option<f64>,
+    apply_max_us: Option<f64>,
+    tail_p99_ns: f64,
+}
+
+fn measure(
+    table: &spal_rib::RoutingTable,
+    traces: &[Trace],
+    cfg: &DataplaneConfig,
+) -> DataplaneReport {
+    let mut best: Option<DataplaneReport> = None;
+    for _ in 0..REPS {
+        let report = run(table, traces, cfg);
+        if best.as_ref().is_none_or(|b| report.elapsed < b.elapsed) {
+            best = Some(report);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn row_from(config: &str, report: &DataplaneReport, oracle: Option<u64>) -> Row {
+    let churn = report.churn.as_ref();
+    Row {
+        config: config.to_string(),
+        workers: report.workers.len(),
+        churn: churn.is_some(),
+        packets: report.total_packets(),
+        throughput_mpps: report.throughput_mpps(),
+        wall_ms: report.elapsed.as_secs_f64() * 1e3,
+        hit_rate: report.hit_rate(),
+        rem_share: report.rem_share(),
+        checksum_ok: oracle.map(|sum| report.checksum() == sum),
+        spot_mismatches: report.spot_check_mismatches(),
+        final_mismatches: churn.map(|c| c.final_mismatches),
+        apply_mean_us: churn.map(|c| c.apply_us.mean_us()),
+        apply_max_us: churn.map(|c| c.apply_us.max_us),
+        tail_p99_ns: report.tail.p99_ns,
+    }
+}
+
+fn opt_json<T: std::fmt::Display>(v: &Option<T>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn write_json(path: &str, rows: &[Row], cores: usize) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "[")?;
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            f,
+            "  {{\"benchmark\": \"dataplane\", \"config\": \"{}\", \"workers\": {}, \
+             \"host_cores\": {cores}, \"churn\": {}, \"packets\": {}, \
+             \"throughput_mpps\": {:.4}, \"wall_ms\": {:.3}, \"hit_rate\": {:.6}, \
+             \"rem_share\": {:.6}, \"checksum_ok\": {}, \"spot_mismatches\": {}, \
+             \"final_mismatches\": {}, \"apply_mean_us\": {}, \"apply_max_us\": {}, \
+             \"tail_p99_ns\": {:.1}}}{}",
+            r.config,
+            r.workers,
+            r.churn,
+            r.packets,
+            r.throughput_mpps,
+            r.wall_ms,
+            r.hit_rate,
+            r.rem_share,
+            opt_json(&r.checksum_ok),
+            r.spot_mismatches,
+            opt_json(&r.final_mismatches),
+            opt_json(&r.apply_mean_us.map(|v| format!("{v:.2}"))),
+            opt_json(&r.apply_max_us.map(|v| format!("{v:.2}"))),
+            r.tail_p99_ns,
+            comma
+        )?;
+    }
+    writeln!(f, "]")?;
+    Ok(())
+}
+
+fn main() {
+    let opts = parse_args();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (table, trace) = lookup::stress_workload(opts.prefixes, opts.packets, opts.seed);
+    println!(
+        "bench_dataplane: {} packets total, table {} prefixes, {} distinct dests, \
+         {cores} host cores, best of {REPS}",
+        trace.len(),
+        table.len(),
+        trace.distinct()
+    );
+
+    // Scalar full-table oracle checksum for the no-churn runs: the
+    // partitioned, cached, message-passing runtime must resolve every
+    // packet to exactly what one big DP trie says.
+    let oracle_sum = {
+        let full = ForwardingTable::build(LpmAlgorithm::Dp, &table);
+        let mut sum = 0u64;
+        let mut out = vec![CountedLookup::MISS; 1024];
+        for chunk in trace.destinations().chunks(1024) {
+            full.lookup_batch(chunk, &mut out[..chunk.len()]);
+            for r in &out[..chunk.len()] {
+                sum = sum.wrapping_add(r.next_hop.map(|h| h.0 as u64 + 1).unwrap_or(0));
+            }
+        }
+        sum
+    };
+
+    // Large batches amortize ring/epoch traffic per admitted packet —
+    // on a time-sliced single core, every cross-worker round trip costs
+    // a scheduling quantum, so bigger batches matter most there.
+    let base_cfg = DataplaneConfig {
+        algorithm: LpmAlgorithm::Dp,
+        cache: LrCacheConfig::paper(4096),
+        batch: 256,
+        ring_capacity: 8192,
+        spot_check_every: 64,
+        seed: opts.seed,
+        ..Default::default()
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let sweep = [1usize, 2, 4];
+    let mut mpps_by_workers = std::collections::HashMap::new();
+
+    for &workers in &sweep {
+        let traces = trace.split(workers);
+        let cfg = DataplaneConfig {
+            workers,
+            ..base_cfg.clone()
+        };
+        let report = measure(&table, &traces, &cfg);
+        let row = row_from(&format!("w{workers}"), &report, Some(oracle_sum));
+        println!(
+            "  {:12} {:>8.3} Mpps {:>10.1} ms | hit {:.3} rem {:.3} | p99 {:>6.0} ns/pkt | checksum {}",
+            row.config,
+            row.throughput_mpps,
+            row.wall_ms,
+            row.hit_rate,
+            row.rem_share,
+            row.tail_p99_ns,
+            if row.checksum_ok == Some(true) { "ok" } else { "MISMATCH" },
+        );
+        if row.checksum_ok != Some(true) {
+            failures.push(format!("w{workers}: checksum mismatch vs scalar oracle"));
+        }
+        if row.spot_mismatches > 0 {
+            failures.push(format!(
+                "w{workers}: {} spot-check mismatches",
+                row.spot_mismatches
+            ));
+        }
+        mpps_by_workers.insert(workers, row.throughput_mpps);
+        rows.push(row);
+    }
+
+    // Scaling gate, host-aware: the 2× contract needs 4 real cores.
+    let scaling = mpps_by_workers[&4] / mpps_by_workers[&1];
+    let scaling_floor = if cores >= 4 { 2.0 } else { 0.2 };
+    let verdict = if scaling >= scaling_floor {
+        "ok"
+    } else {
+        "FAIL"
+    };
+    println!(
+        "  scaling 1->4 workers: {scaling:.2}x (floor {scaling_floor}x, {cores} cores) {verdict}"
+    );
+    if scaling < scaling_floor {
+        failures.push(format!(
+            "scaling 1->4: {scaling:.2}x < {scaling_floor}x on {cores} cores"
+        ));
+    }
+
+    // Churn-degradation gate at the widest sweep point.
+    let churn_workers = *sweep.last().expect("non-empty sweep");
+    let traces = trace.split(churn_workers);
+    let churn_cfg = DataplaneConfig {
+        workers: churn_workers,
+        churn: Some(ChurnConfig {
+            updates: (opts.packets / 400).clamp(200, 20_000),
+            updates_per_publication: 50,
+            withdraw_fraction: 0.3,
+            pace_us: 100,
+        }),
+        ..base_cfg.clone()
+    };
+    let churn_report = measure(&table, &traces, &churn_cfg);
+    let row = row_from(&format!("w{churn_workers}-churn"), &churn_report, None);
+    let churn_stats = churn_report.churn.as_ref().expect("churn ran");
+    println!(
+        "  {:12} {:>8.3} Mpps {:>10.1} ms | {} updates in {} pubs | apply mean {:.1} us max {:.1} us",
+        row.config,
+        row.throughput_mpps,
+        row.wall_ms,
+        churn_stats.updates_applied,
+        churn_stats.publications,
+        churn_stats.apply_us.mean_us(),
+        churn_stats.apply_us.max_us,
+    );
+    if row.spot_mismatches > 0 {
+        failures.push(format!(
+            "churn: {} spot-check mismatches",
+            row.spot_mismatches
+        ));
+    }
+    if churn_stats.final_mismatches > 0 {
+        failures.push(format!(
+            "churn: published table diverged from RIB in {} samples",
+            churn_stats.final_mismatches
+        ));
+    }
+    let degradation = row.throughput_mpps / mpps_by_workers[&churn_workers];
+    let churn_floor = if cores >= 4 { 0.5 } else { 0.35 };
+    let verdict = if degradation >= churn_floor {
+        "ok"
+    } else {
+        "FAIL"
+    };
+    println!(
+        "  churn degradation: {degradation:.2}x of churn-free (floor {churn_floor}x) {verdict}"
+    );
+    if degradation < churn_floor {
+        failures.push(format!(
+            "churn degradation {degradation:.2}x < {churn_floor}x"
+        ));
+    }
+    rows.push(row);
+
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dataplane.json");
+    let out = opts.out.as_deref().unwrap_or(default_out);
+    write_json(out, &rows, cores).expect("writing benchmark JSON");
+    println!("wrote {} rows to {out}", rows.len());
+
+    if !failures.is_empty() {
+        eprintln!("bench_dataplane FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench_dataplane passed");
+}

@@ -383,6 +383,50 @@ impl<V: Copy + Eq + std::fmt::Debug> LrCache<V> {
         self.stats.flushes += 1;
     }
 
+    /// Invalidate exactly the entries whose address falls under the
+    /// given prefix (`addr & mask == prefix_bits`), main array, waiting
+    /// entries and victim cache alike. Returns the number of entries
+    /// dropped and adds it to the `invalidations` statistic.
+    ///
+    /// This is the churn-friendly alternative to [`LrCache::flush`]: a
+    /// routing update to one prefix only needs the results it covers
+    /// re-resolved, so the rest of the working set survives. Waiting
+    /// (W-bit) entries under the prefix are dropped too — their reply is
+    /// still in flight and may carry a stale result; dropping the entry
+    /// demotes the eventual [`LrCache::fill`] to a plain insert (or a
+    /// no-op), which is safe, and same-address followers re-reserve.
+    ///
+    /// The prefix is passed as raw `(bits, len)` so this crate stays
+    /// independent of the routing-table crate; callers with a
+    /// `spal_rib::Prefix` pass `(p.bits(), p.len())`.
+    ///
+    /// # Panics
+    /// Panics if `prefix_len > 32`.
+    pub fn invalidate_covered(&mut self, prefix_bits: u32, prefix_len: u8) -> usize {
+        assert!(prefix_len <= 32, "prefix length {prefix_len} out of range");
+        let mask = if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        };
+        let bits = prefix_bits & mask;
+        let covered = |addr: u32| addr & mask == bits;
+        let mut dropped = 0usize;
+        for way in &mut self.ways {
+            let addr = match way.block {
+                Block::Invalid => continue,
+                Block::Waiting { addr } | Block::Complete { addr, .. } => addr,
+            };
+            if covered(addr) {
+                way.block = Block::Invalid;
+                dropped += 1;
+            }
+        }
+        dropped += self.victim.invalidate_where(covered);
+        self.stats.invalidations += dropped as u64;
+        dropped
+    }
+
     /// Number of complete (shared) entries currently held, per M class:
     /// `(loc, rem)`. Diagnostic; O(blocks).
     pub fn occupancy(&self) -> (usize, usize) {
@@ -710,6 +754,73 @@ mod tests {
         assert_eq!(c.occupancy(), (0, 0));
         assert_eq!(c.waiting_count(), 0);
         assert_eq!(c.stats().flushes, 1);
+    }
+
+    #[test]
+    fn invalidate_covered_is_prefix_targeted() {
+        let mut c = LrCache::new(LrCacheConfig::default());
+        // Two addresses under 10.0.0.0/8, one outside it.
+        c.fill(0x0A00_0001, 1, Origin::Loc);
+        c.fill(0x0A01_0002, 2, Origin::Rem);
+        c.fill(0xC0A8_0001, 3, Origin::Loc);
+        let dropped = c.invalidate_covered(0x0A00_0000, 8);
+        assert_eq!(dropped, 2);
+        assert_eq!(c.probe(0x0A00_0001), ProbeResult::Miss);
+        assert_eq!(c.probe(0x0A01_0002), ProbeResult::Miss);
+        assert!(matches!(
+            c.probe(0xC0A8_0001),
+            ProbeResult::Hit { value: 3, .. }
+        ));
+        assert_eq!(c.stats().invalidations, 2);
+        assert_eq!(c.stats().flushes, 0);
+    }
+
+    #[test]
+    fn invalidate_covered_drops_waiting_entries() {
+        let mut c = LrCache::new(LrCacheConfig::default());
+        c.reserve(0x0A00_0001);
+        c.reserve(0xC0A8_0001);
+        assert_eq!(c.invalidate_covered(0x0A00_0000, 8), 1);
+        assert_eq!(c.probe(0x0A00_0001), ProbeResult::Miss);
+        assert_eq!(c.probe(0xC0A8_0001), ProbeResult::HitWaiting);
+        // The in-flight reply now inserts as a fresh complete entry.
+        assert_eq!(c.fill(0x0A00_0001, 9, Origin::Rem), FillOutcome::Inserted);
+    }
+
+    #[test]
+    fn invalidate_covered_reaches_victim_cache() {
+        let mut c = LrCache::new(LrCacheConfig {
+            blocks: 4,
+            assoc: 4,
+            victim_blocks: 8,
+            ..Default::default()
+        });
+        // Overflow the single set so addr 0 lands in the victim cache.
+        for i in 0..5u32 {
+            c.fill(i * 4, i as u16, Origin::Loc);
+        }
+        // addr 0 is only in the victim cache now; a /30 around it evicts
+        // it there without touching the main array's other entries.
+        assert_eq!(c.invalidate_covered(0, 30), 1);
+        assert_eq!(c.probe(0), ProbeResult::Miss);
+        assert!(matches!(c.probe(8), ProbeResult::Hit { value: 2, .. }));
+    }
+
+    #[test]
+    fn invalidate_covered_zero_length_equals_flush() {
+        let mut targeted = LrCache::new(LrCacheConfig::default());
+        let mut flushed = LrCache::new(LrCacheConfig::default());
+        for i in 0..64u32 {
+            targeted.fill(i * 131, i as u16, Origin::Loc);
+            flushed.fill(i * 131, i as u16, Origin::Loc);
+        }
+        targeted.invalidate_covered(0, 0);
+        flushed.flush();
+        assert_eq!(targeted.occupancy(), (0, 0));
+        assert_eq!(targeted.occupancy(), flushed.occupancy());
+        // Only the stats differ: one counts invalidations, one a flush.
+        assert_eq!(targeted.stats().invalidations, 64);
+        assert_eq!(flushed.stats().flushes, 1);
     }
 
     #[test]

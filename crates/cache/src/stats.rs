@@ -29,6 +29,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Whole-cache flushes (routing-table updates).
     pub flushes: u64,
+    /// Entries (complete, waiting, or victim) evicted by prefix-targeted
+    /// invalidation — the churn-friendly alternative to a full flush.
+    pub invalidations: u64,
 }
 
 impl CacheStats {

@@ -121,6 +121,15 @@ impl<V: Copy + Eq> VictimCache<V> {
     pub fn flush(&mut self) {
         self.slots.clear();
     }
+
+    /// Drop every block whose address satisfies `covered`, returning the
+    /// number removed (prefix-targeted invalidation after a routing
+    /// update).
+    pub fn invalidate_where(&mut self, covered: impl Fn(u32) -> bool) -> usize {
+        let before = self.slots.len();
+        self.slots.retain(|s| !covered(s.block.addr));
+        before - self.slots.len()
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! spal lookup --table table.txt 10.1.2.3 192.168.0.1
 //! spal gen-trace --preset D_75 --packets 100000 --table table.txt --out trace.txt
 //! spal simulate --psi 16 --beta 4096 --preset D_75 --packets 100000
+//! spal dataplane --workers 4 --engine lulea --churn 2000 --json
 //! ```
 
 mod args;
@@ -41,6 +42,7 @@ fn main() {
         "gen-trace" => cmd_gen_trace(&args),
         "analyze-trace" => cmd_analyze_trace(&args),
         "simulate" => cmd_simulate(&args),
+        "dataplane" => cmd_dataplane(&args),
         other => Err(ArgError(format!(
             "unknown command {other:?}; try 'spal help'"
         ))),
@@ -70,6 +72,12 @@ commands:
   simulate   --psi N [--beta B] [--gamma G] [--preset NAME]
              [--packets N] [--kind spal|cache-only|conventional]
              [--speed 10|40] [--fe CYCLES] [--seed S]
+  dataplane  --workers N [--engine dp|binary|lulea|lc|dir24] [--beta B]
+             [--gamma G] [--batch N] [--preset NAME] [--packets N]
+             [--churn UPDATES] [--publish-every N] [--withdraw-fraction F]
+             [--pace-us US] [--invalidation targeted|flush]
+             [--deterministic] [--seed S] [--json]
+             run the threaded SPAL runtime with RCU table publication
 
 presets: D_75 D_81 L_92-0 L_92-1 B_L"
     );
@@ -279,6 +287,113 @@ fn cmd_analyze_trace(args: &Args) -> Result<(), ArgError> {
     while cap <= max_cap {
         println!("{cap:>8}  {:.4}", profile.lru_hit_rate(cap));
         cap *= 2;
+    }
+    Ok(())
+}
+
+fn cmd_dataplane(args: &Args) -> Result<(), ArgError> {
+    use spal_dataplane::{run, ChurnConfig, DataplaneConfig, InvalidationMode};
+
+    let table = load_table(args)?;
+    let workers = args.get_or("workers", 4usize)?;
+    if workers == 0 {
+        return Err(ArgError("--workers must be at least 1".into()));
+    }
+    let algorithm = match args.get("engine").unwrap_or("dp") {
+        "dp" => LpmAlgorithm::Dp,
+        "binary" => LpmAlgorithm::Binary,
+        "lulea" => LpmAlgorithm::Lulea,
+        "lc" => LpmAlgorithm::Lc { fill_factor: 0.25 },
+        "dir24" => LpmAlgorithm::Dir24,
+        other => return Err(ArgError(format!("unknown engine {other:?}"))),
+    };
+    let beta = args.get_or("beta", 4096usize)?;
+    let gamma = args.get_or("gamma", if beta <= 1024 { 0.25 } else { 0.5 })?;
+    let packets = args.get_or("packets", 100_000usize)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let churn_updates = args.get_or("churn", 0usize)?;
+    let churn = (churn_updates > 0).then(|| ChurnConfig {
+        updates: churn_updates,
+        updates_per_publication: args.get_or("publish-every", 50usize).unwrap_or(50),
+        withdraw_fraction: args.get_or("withdraw-fraction", 0.3f64).unwrap_or(0.3),
+        pace_us: args.get_or("pace-us", 200u64).unwrap_or(200),
+    });
+    let invalidation = match args.get("invalidation").unwrap_or("targeted") {
+        "targeted" => InvalidationMode::Targeted,
+        "flush" => InvalidationMode::FullFlush,
+        other => {
+            return Err(ArgError(format!(
+                "--invalidation must be 'targeted' or 'flush', got {other:?}"
+            )))
+        }
+    };
+    let name = parse_preset(args.get("preset").unwrap_or("D_75"))?;
+
+    let traces: Vec<Trace> = preset(name)
+        .generate(&table, packets * workers, seed)
+        .split(workers);
+    let cfg = DataplaneConfig {
+        workers,
+        algorithm,
+        cache: LrCacheConfig {
+            blocks: beta,
+            mix_rem_fraction: gamma,
+            ..LrCacheConfig::default()
+        },
+        batch: args.get_or("batch", 32usize)?,
+        churn,
+        invalidation,
+        deterministic: args.has("deterministic"),
+        seed,
+        ..DataplaneConfig::default()
+    };
+    eprintln!(
+        "dataplane: workers={workers} engine={algorithm:?} beta={beta} gamma={gamma} \
+         preset={} packets/worker={packets}{}",
+        name.label(),
+        if churn_updates > 0 {
+            format!(" churn={churn_updates} updates")
+        } else {
+            String::new()
+        },
+    );
+    let report = run(&table, &traces, &cfg);
+    if args.has("json") {
+        print!("{}", report.to_json());
+        return Ok(());
+    }
+    println!("{}", report.summary());
+    if let Some(c) = &report.churn {
+        println!(
+            "churn: {} invalidations sent, apply min/mean/max {:.1}/{:.1}/{:.1} µs, \
+             final check {}/{} consistent",
+            c.invalidations_sent,
+            c.apply_us.min_us,
+            c.apply_us.mean_us(),
+            c.apply_us.max_us,
+            c.final_checks - c.final_mismatches,
+            c.final_checks,
+        );
+    }
+    println!("\nlc  packets   hit-rate  remote-req  served  stale");
+    for w in &report.workers {
+        let probes = w.cache.probes().max(1);
+        let hits = w.cache.hits_loc + w.cache.hits_rem + w.cache.hits_waiting;
+        println!(
+            "{:>2}  {:>8}  {:>8.3}  {:>10}  {:>6}  {:>5}",
+            w.lc,
+            w.packets,
+            hits as f64 / probes as f64,
+            w.remote_requests,
+            w.remote_served,
+            w.stale_replies,
+        );
+    }
+    if report.spot_check_mismatches() > 0 {
+        return Err(ArgError(format!(
+            "{} spot-check mismatches — dataplane diverged from its own engine",
+            report.spot_check_mismatches()
+        )));
     }
     Ok(())
 }

@@ -121,6 +121,19 @@ impl Partitioning {
         self.group_to_lc[group]
     }
 
+    /// The line cards whose ROT-partitions contain `prefix` (wildcards
+    /// in the chosen bits replicate it), sorted and deduplicated — the
+    /// update-propagation fan-out: a routing update to `prefix` must
+    /// reach exactly these LCs' forwarding tables.
+    pub fn lcs_of_prefix(&self, prefix: spal_rib::Prefix) -> Vec<u16> {
+        let mut lcs: Vec<u16> = groups_of_prefix(&self.bits, prefix)
+            .map(|g| self.group_to_lc[g])
+            .collect();
+        lcs.sort_unstable();
+        lcs.dedup();
+        lcs
+    }
+
     /// Build the per-LC forwarding tables (the ROT-partitions merged per
     /// LC). Every address's longest match within its home LC's table
     /// equals its longest match in the full table — the replication of
@@ -355,6 +368,27 @@ mod tests {
                 assert_eq!(
                     tables[home].longest_match(addr).map(|e| e.next_hop),
                     rt.longest_match(addr).map(|e| e.next_hop)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lcs_of_prefix_matches_partition_membership() {
+        let rt = synth::small(23);
+        let bits = crate::bits::select_bits(&rt, 3);
+        let part = Partitioning::new(&rt, bits, 5);
+        let tables = part.forwarding_tables(&rt);
+        for e in rt.entries().iter().step_by(7) {
+            let lcs = part.lcs_of_prefix(e.prefix);
+            assert!(!lcs.is_empty());
+            for (lc, t) in tables.iter().enumerate() {
+                let member = t.entries().iter().any(|x| x.prefix == e.prefix);
+                assert_eq!(
+                    member,
+                    lcs.contains(&(lc as u16)),
+                    "prefix {} vs LC {lc}",
+                    e.prefix
                 );
             }
         }

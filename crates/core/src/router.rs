@@ -187,17 +187,11 @@ impl SpalRouter {
         if !self.lcs[0].fwd.supports_incremental_updates() {
             return false;
         }
-        let bits: Vec<u8> = self.partitioning.bits().to_vec();
         let prefix = match update {
             spal_rib::updates::Update::Announce(e) => e.prefix,
             spal_rib::updates::Update::Withdraw(p) => p,
         };
-        let mut lcs: Vec<u16> = crate::partition::groups_of_prefix(&bits, prefix)
-            .map(|g| self.partitioning.lc_of_group(g))
-            .collect();
-        lcs.sort_unstable();
-        lcs.dedup();
-        for lc in lcs {
+        for lc in self.partitioning.lcs_of_prefix(prefix) {
             let fwd = &mut self.lcs[lc as usize].fwd;
             match update {
                 spal_rib::updates::Update::Announce(e) => {

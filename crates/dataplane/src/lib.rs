@@ -1,0 +1,25 @@
+//! The SPAL dataplane — a *real* concurrent router runtime, where the
+//! discrete-event simulator (`spal-sim`) models a timed one.
+//!
+//! ψ LC worker threads each own their ROT-partition forwarding engine
+//! and LR-cache, exchange home-LC request/reply messages over bounded
+//! lock-free SPSC rings ([`spal_fabric::spsc`]), and drain packet
+//! batches through the engines' `lookup_batch` path. A control-plane
+//! thread consumes a BGP update stream and republishes forwarding
+//! snapshots through an epoch-based RCU layer ([`epoch`]) — readers
+//! never block, and cache invalidation after a publication is either
+//! the paper's full flush or prefix-targeted eviction.
+//!
+//! * [`epoch`] — QSBR snapshot publication with writer-side grace
+//!   periods and snapshot recycling;
+//! * [`runtime`] — workers, control plane, and the [`run`] entry point;
+//! * [`report`] — per-worker and churn statistics, comparable with the
+//!   simulator's per-LC reports.
+
+pub mod epoch;
+pub mod report;
+pub mod runtime;
+
+pub use epoch::{epoch_table, EpochReader, EpochWriter, Pinned};
+pub use report::{ChurnReport, DataplaneReport, LatencySummary, TailSummary, WorkerReport};
+pub use runtime::{run, ChurnConfig, DataplaneConfig, InvalidationMode};

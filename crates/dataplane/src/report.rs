@@ -1,0 +1,327 @@
+//! Results of one dataplane run, shaped to be comparable with the
+//! discrete-event simulator's [`spal_sim`-style] per-LC reports.
+
+use spal_cache::CacheStats;
+use std::time::Duration;
+
+/// Per-worker (per-LC) results.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerReport {
+    /// Line-card index this worker modelled.
+    pub lc: usize,
+    /// Packets from this worker's own trace (all completed).
+    pub packets: u64,
+    /// LR-cache statistics.
+    pub cache: CacheStats,
+    /// Batched FE invocations on the local partition engine.
+    pub fe_batches: u64,
+    /// Addresses resolved by the local partition engine (own packets
+    /// plus remote requests served).
+    pub fe_lookups: u64,
+    /// Requests sent to other workers (this LC was not the home).
+    pub remote_requests: u64,
+    /// Requests received from other workers.
+    pub remote_served: u64,
+    /// Replies received for this worker's remote requests.
+    pub replies_received: u64,
+    /// Replies whose table version predated a processed invalidation —
+    /// completed but deliberately not cached.
+    pub stale_replies: u64,
+    /// Batch results cross-checked against scalar `lookup_counted` on
+    /// the same pinned snapshot.
+    pub spot_checks: u64,
+    /// Spot checks that disagreed (must be zero).
+    pub spot_check_mismatches: u64,
+    /// Wrapping checksum over completed packets:
+    /// `Σ (next_hop + 1 | 0 on routing miss)`.
+    pub next_hop_sum: u64,
+}
+
+/// Running min/mean/max over a latency series, in microseconds.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub sum_us: f64,
+    pub min_us: f64,
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    pub fn record(&mut self, us: f64) {
+        if self.count == 0 || us < self.min_us {
+            self.min_us = us;
+        }
+        if us > self.max_us {
+            self.max_us = us;
+        }
+        self.count += 1;
+        self.sum_us += us;
+    }
+
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us / self.count as f64
+        }
+    }
+}
+
+/// Control-plane results when a churn stream ran.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnReport {
+    /// Routing updates consumed from the stream.
+    pub updates_applied: u64,
+    /// Snapshot publications (epoch bumps).
+    pub publications: u64,
+    /// Invalidation messages broadcast (prefix count × workers in
+    /// targeted mode, one flush per worker per publication otherwise).
+    pub invalidations_sent: u64,
+    /// Per-publication latency: shadow sync + pointer swap + grace
+    /// period (readers quiescent), i.e. update-visible-to-dataplane.
+    pub apply_us: LatencySummary,
+    /// Post-run consistency samples: published table vs the control
+    /// plane's per-LC RIB oracle.
+    pub final_checks: u64,
+    /// Samples that disagreed (must be zero).
+    pub final_mismatches: u64,
+}
+
+/// Tail statistics over per-packet processing cost, estimated from
+/// per-iteration wall time divided by packets completed that iteration.
+#[derive(Debug, Clone, Default)]
+pub struct TailSummary {
+    pub samples: u64,
+    pub p50_ns: f64,
+    pub p99_ns: f64,
+    pub max_ns: f64,
+}
+
+impl TailSummary {
+    /// Build from raw ns-per-packet samples (consumed; order destroyed).
+    pub fn from_samples(mut ns: Vec<f64>) -> Self {
+        if ns.is_empty() {
+            return TailSummary::default();
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("latency samples are finite"));
+        let q = |f: f64| ns[((ns.len() - 1) as f64 * f).round() as usize];
+        TailSummary {
+            samples: ns.len() as u64,
+            p50_ns: q(0.50),
+            p99_ns: q(0.99),
+            max_ns: *ns.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Results of one dataplane run.
+#[derive(Debug, Clone, Default)]
+pub struct DataplaneReport {
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerReport>,
+    /// Control-plane results (`None` when no churn was configured).
+    pub churn: Option<ChurnReport>,
+    /// Wall-clock duration of the run (worker spawn to last join).
+    pub elapsed: Duration,
+    /// Lookup-cost tail across all workers.
+    pub tail: TailSummary,
+    /// Whether the run used the deterministic single-threaded schedule.
+    pub deterministic: bool,
+}
+
+impl DataplaneReport {
+    /// Packets completed across all workers.
+    pub fn total_packets(&self) -> u64 {
+        self.workers.iter().map(|w| w.packets).sum()
+    }
+
+    /// Aggregate throughput in million packets per second.
+    pub fn throughput_mpps(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.total_packets() as f64 / s / 1e6
+        }
+    }
+
+    /// Aggregate LR-cache hit rate (complete + waiting hits over
+    /// probes), the same ratio [`spal-sim`'s report] computes.
+    pub fn hit_rate(&self) -> f64 {
+        let mut hits = 0u64;
+        let mut probes = 0u64;
+        for w in &self.workers {
+            hits += w.cache.hits_loc + w.cache.hits_rem + w.cache.hits_waiting;
+            probes += w.cache.probes();
+        }
+        if probes == 0 {
+            0.0
+        } else {
+            hits as f64 / probes as f64
+        }
+    }
+
+    /// Share of complete-entry hits that were remote-sourced (REM).
+    pub fn rem_share(&self) -> f64 {
+        let loc: u64 = self.workers.iter().map(|w| w.cache.hits_loc).sum();
+        let rem: u64 = self.workers.iter().map(|w| w.cache.hits_rem).sum();
+        if loc + rem == 0 {
+            0.0
+        } else {
+            rem as f64 / (loc + rem) as f64
+        }
+    }
+
+    /// Wrapping checksum over every completed packet, order-independent
+    /// — equal runs resolve equal next hops.
+    pub fn checksum(&self) -> u64 {
+        self.workers
+            .iter()
+            .fold(0u64, |acc, w| acc.wrapping_add(w.next_hop_sum))
+    }
+
+    /// Total spot-check disagreements (must be zero).
+    pub fn spot_check_mismatches(&self) -> u64 {
+        self.workers.iter().map(|w| w.spot_check_mismatches).sum()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let churn = match &self.churn {
+            Some(c) => format!(
+                " | {} updates in {} pubs, apply mean {:.1} µs",
+                c.updates_applied,
+                c.publications,
+                c.apply_us.mean_us()
+            ),
+            None => String::new(),
+        };
+        format!(
+            "{} pkts on {} workers in {:.3} s | {:.2} Mpps | hit rate {:.3} | REM share {:.3} | p99 {:.0} ns/pkt{}",
+            self.total_packets(),
+            self.workers.len(),
+            self.elapsed.as_secs_f64(),
+            self.throughput_mpps(),
+            self.hit_rate(),
+            self.rem_share(),
+            self.tail.p99_ns,
+            churn,
+        )
+    }
+
+    /// Hand-rolled JSON rendering (the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"workers\": {},\n", self.workers.len()));
+        s.push_str(&format!("  \"deterministic\": {},\n", self.deterministic));
+        s.push_str(&format!("  \"total_packets\": {},\n", self.total_packets()));
+        s.push_str(&format!(
+            "  \"elapsed_s\": {:.6},\n",
+            self.elapsed.as_secs_f64()
+        ));
+        s.push_str(&format!(
+            "  \"throughput_mpps\": {:.4},\n",
+            self.throughput_mpps()
+        ));
+        s.push_str(&format!("  \"hit_rate\": {:.6},\n", self.hit_rate()));
+        s.push_str(&format!("  \"rem_share\": {:.6},\n", self.rem_share()));
+        s.push_str(&format!("  \"checksum\": {},\n", self.checksum()));
+        s.push_str(&format!(
+            "  \"spot_check_mismatches\": {},\n",
+            self.spot_check_mismatches()
+        ));
+        s.push_str(&format!(
+            "  \"tail_ns\": {{ \"p50\": {:.1}, \"p99\": {:.1}, \"max\": {:.1} }},\n",
+            self.tail.p50_ns, self.tail.p99_ns, self.tail.max_ns
+        ));
+        match &self.churn {
+            Some(c) => s.push_str(&format!(
+                "  \"churn\": {{ \"updates\": {}, \"publications\": {}, \"invalidations_sent\": {}, \"apply_us\": {{ \"mean\": {:.2}, \"min\": {:.2}, \"max\": {:.2} }}, \"final_checks\": {}, \"final_mismatches\": {} }},\n",
+                c.updates_applied,
+                c.publications,
+                c.invalidations_sent,
+                c.apply_us.mean_us(),
+                c.apply_us.min_us,
+                c.apply_us.max_us,
+                c.final_checks,
+                c.final_mismatches,
+            )),
+            None => s.push_str("  \"churn\": null,\n"),
+        }
+        s.push_str("  \"per_worker\": [\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"lc\": {}, \"packets\": {}, \"hits_loc\": {}, \"hits_rem\": {}, \"hits_waiting\": {}, \"misses\": {}, \"invalidations\": {}, \"flushes\": {}, \"fe_lookups\": {}, \"remote_requests\": {}, \"remote_served\": {}, \"stale_replies\": {} }}{}\n",
+                w.lc,
+                w.packets,
+                w.cache.hits_loc,
+                w.cache.hits_rem,
+                w.cache.hits_waiting,
+                w.cache.misses,
+                w.cache.invalidations,
+                w.cache.flushes,
+                w.fe_lookups,
+                w.remote_requests,
+                w.remote_served,
+                w.stale_replies,
+                if i + 1 < self.workers.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_summary_quantiles() {
+        let t = TailSummary::from_samples((1..=100).map(|i| i as f64).collect());
+        assert_eq!(t.samples, 100);
+        assert_eq!(t.p50_ns, 51.0);
+        assert_eq!(t.p99_ns, 99.0);
+        assert_eq!(t.max_ns, 100.0);
+        assert_eq!(TailSummary::from_samples(vec![]).samples, 0);
+    }
+
+    #[test]
+    fn latency_summary_tracks_extremes() {
+        let mut l = LatencySummary::default();
+        l.record(5.0);
+        l.record(1.0);
+        l.record(9.0);
+        assert_eq!(l.count, 3);
+        assert_eq!(l.min_us, 1.0);
+        assert_eq!(l.max_us, 9.0);
+        assert!((l.mean_us() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_aggregates_and_renders() {
+        let mut r = DataplaneReport::default();
+        for lc in 0..2 {
+            let mut w = WorkerReport {
+                lc,
+                packets: 10,
+                next_hop_sum: 7,
+                ..Default::default()
+            };
+            w.cache.hits_loc = 6;
+            w.cache.hits_rem = 2;
+            w.cache.misses = 2;
+            r.workers.push(w);
+        }
+        r.elapsed = Duration::from_millis(10);
+        assert_eq!(r.total_packets(), 20);
+        assert_eq!(r.checksum(), 14);
+        assert!((r.hit_rate() - 0.8).abs() < 1e-12);
+        assert!((r.rem_share() - 0.25).abs() < 1e-12);
+        let json = r.to_json();
+        assert!(json.contains("\"total_packets\": 20"));
+        assert!(json.contains("\"churn\": null"));
+        assert!(r.summary().contains("hit rate 0.800"));
+    }
+}

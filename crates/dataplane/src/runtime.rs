@@ -1,0 +1,1006 @@
+//! The multi-threaded SPAL runtime.
+//!
+//! ψ LC **workers** each own one ROT-partition forwarding engine (read
+//! through the epoch layer) and one local LR-cache, and exchange
+//! home-LC request/reply [`FabricMsg`]s over bounded lock-free SPSC
+//! rings — the concurrency mechanism behind the timing the
+//! discrete-event simulator models. A **control plane** consumes a BGP
+//! update stream, applies it to a shadow snapshot (incrementally for
+//! the binary/DP tries, by per-LC shadow rebuild for the compressed
+//! structures), publishes the snapshot RCU-style ([`crate::epoch`]),
+//! and broadcasts either a full-flush or prefix-targeted cache
+//! invalidations.
+//!
+//! ## Worker iteration
+//!
+//! Each iteration a worker: pins the current snapshot, drains its
+//! control ring (cache invalidations), drains its fabric rings
+//! (requests from other workers and replies to its own), admits one
+//! batch from its trace, resolves the accumulated FE queue through one
+//! `lookup_batch` call, and flushes its outbox. Missed addresses are
+//! *parked* (one pending job per distinct address — the W-bit early
+//! recording discipline of §3.2) so duplicate work is never issued;
+//! each resolved address completes every parked waiter at once, either
+//! locally or with a reply over the fabric.
+//!
+//! Pushes never block: undeliverable messages sit in a per-worker
+//! outbox and retry next iteration while the worker keeps draining its
+//! own rings — so two workers flooding each other cannot deadlock.
+//! A worker is *done* when its trace is exhausted and it holds no
+//! pending jobs, queued messages, or outstanding requests; it keeps
+//! serving remote requests until every worker is done.
+//!
+//! ## Update visibility
+//!
+//! Fills racing a publication are benign in one direction (a fresh
+//! entry invalidated spuriously) and handled explicitly in the other:
+//! replies carry the table version they were computed against, and a
+//! reply older than the receiver's last-processed invalidation
+//! completes its packet but is not cached (`stale_replies`).
+
+use crate::epoch::{epoch_table, EpochReader, EpochWriter};
+use crate::report::{ChurnReport, DataplaneReport, TailSummary, WorkerReport};
+use spal_cache::{LrCache, LrCacheConfig, Origin, ProbeResult};
+use spal_core::bits::{eta_for, select_bits};
+use spal_core::{ForwardingTable, LpmAlgorithm, Partitioning};
+use spal_fabric::{spsc_ring, FabricMsg, MsgKind, SpscConsumer, SpscProducer};
+use spal_lpm::{CountedLookup, Lpm};
+use spal_rib::updates::{update_stream, Update, UpdateStreamConfig};
+use spal_rib::{Prefix, RoutingTable};
+use spal_traffic::Trace;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How the control plane invalidates LR-caches after a publication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InvalidationMode {
+    /// §3.2 baseline: flush every cache entirely after each update
+    /// batch.
+    FullFlush,
+    /// Evict only entries covered by the changed prefixes
+    /// ([`LrCache::invalidate_covered`]); unaffected entries keep their
+    /// hits across churn.
+    #[default]
+    Targeted,
+}
+
+/// BGP churn applied while the dataplane forwards.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Total updates in the synthetic stream.
+    pub updates: usize,
+    /// Updates applied per snapshot publication.
+    pub updates_per_publication: usize,
+    /// Fraction of updates that withdraw a live route.
+    pub withdraw_fraction: f64,
+    /// Threaded runs: minimum microseconds between publications
+    /// (0 = publish as fast as possible). Deterministic runs ignore
+    /// this and spread publications evenly over the trace.
+    pub pace_us: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            updates: 2_000,
+            updates_per_publication: 50,
+            withdraw_fraction: 0.3,
+            pace_us: 200,
+        }
+    }
+}
+
+/// Configuration of one dataplane run.
+#[derive(Debug, Clone)]
+pub struct DataplaneConfig {
+    /// Number of LC worker threads ψ.
+    pub workers: usize,
+    /// LPM structure each partition engine runs.
+    pub algorithm: LpmAlgorithm,
+    /// Per-worker LR-cache configuration.
+    pub cache: LrCacheConfig,
+    /// Packets a worker admits from its trace per iteration.
+    pub batch: usize,
+    /// Capacity of each fabric SPSC ring.
+    pub ring_capacity: usize,
+    /// Churn stream (`None` = static table).
+    pub churn: Option<ChurnConfig>,
+    /// Cache-invalidation strategy after publications.
+    pub invalidation: InvalidationMode,
+    /// Cross-check every Nth FE result against scalar `lookup_counted`
+    /// on the same pinned snapshot (0 = off).
+    pub spot_check_every: u64,
+    /// Run single-threaded with a fixed round-robin schedule — results
+    /// are exactly reproducible (used by the sim-parity suite).
+    pub deterministic: bool,
+    /// Seed for the churn stream and the final consistency sampler.
+    pub seed: u64,
+}
+
+impl Default for DataplaneConfig {
+    fn default() -> Self {
+        DataplaneConfig {
+            workers: 4,
+            algorithm: LpmAlgorithm::Dp,
+            cache: LrCacheConfig::paper(4096),
+            batch: 32,
+            ring_capacity: 1024,
+            churn: None,
+            invalidation: InvalidationMode::Targeted,
+            spot_check_every: 64,
+            deterministic: false,
+            seed: 1,
+        }
+    }
+}
+
+/// One published forwarding state: every LC's partition engine plus the
+/// update sequence number it reflects.
+struct Snapshot {
+    tables: Vec<ForwardingTable>,
+    /// Updates `< applied_seq` are reflected in `tables`.
+    applied_seq: u64,
+    /// Publication version (epoch at publish time); stamps replies.
+    version: u64,
+}
+
+/// Control-plane → worker messages.
+#[derive(Debug, Clone, Copy)]
+enum CtrlMsg {
+    /// Flush the whole LR-cache (post-publication, FullFlush mode).
+    Flush { version: u64 },
+    /// Evict entries covered by one changed prefix (Targeted mode).
+    Invalidate { bits: u32, len: u8, version: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Waiter {
+    /// One of this worker's own packets.
+    Local,
+    /// A remote request to answer once the address resolves.
+    Remote { src: u16, packet_id: u64 },
+}
+
+fn update_prefix(u: Update) -> Prefix {
+    match u {
+        Update::Announce(e) => e.prefix,
+        Update::Withdraw(p) => p,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+struct WorkerCore {
+    lc: usize,
+    psi: usize,
+    part: Arc<Partitioning>,
+    cache: LrCache<Option<u16>>,
+    dests: Arc<[u32]>,
+    pos: usize,
+    batch: usize,
+    /// Producers to every other worker (`None` at `self.lc`).
+    req_tx: Vec<Option<SpscProducer<FabricMsg>>>,
+    /// Consumers from every other worker (`None` at `self.lc`).
+    req_rx: Vec<Option<SpscConsumer<FabricMsg>>>,
+    ctrl_rx: SpscConsumer<CtrlMsg>,
+    outbox: VecDeque<FabricMsg>,
+    /// One entry per distinct in-flight address: all packets/requests
+    /// waiting on its result (the W-bit discipline).
+    pending: HashMap<u32, Vec<Waiter>>,
+    /// Addresses to resolve on the local engine this iteration.
+    fe_queue: Vec<u32>,
+    results: Vec<CountedLookup>,
+    /// Latest publication version whose invalidations were processed.
+    inval_version: u64,
+    outstanding: usize,
+    spot_check_every: u64,
+    fe_since_check: u64,
+    report: WorkerReport,
+    done: Arc<AtomicUsize>,
+    marked_done: bool,
+    completed_this_iter: u64,
+}
+
+struct Worker {
+    reader: EpochReader<Snapshot>,
+    core: WorkerCore,
+}
+
+impl WorkerCore {
+    fn complete(&mut self, nh: Option<u16>) {
+        self.report.packets += 1;
+        self.report.next_hop_sum = self
+            .report
+            .next_hop_sum
+            .wrapping_add(nh.map(|h| h as u64 + 1).unwrap_or(0));
+        self.completed_this_iter += 1;
+    }
+
+    fn push_reply(&mut self, dst: u16, addr: u32, packet_id: u64, nh: Option<u16>, version: u64) {
+        self.outbox.push_back(FabricMsg {
+            kind: MsgKind::Reply { next_hop: nh },
+            src: self.lc as u16,
+            dst,
+            addr,
+            packet_id,
+            sent_at: version,
+        });
+    }
+
+    /// Park a waiter on `addr`; the first waiter creates the job and
+    /// routes it (local FE queue or remote request).
+    fn park(&mut self, addr: u32, w: Waiter) {
+        use std::collections::hash_map::Entry;
+        match self.pending.entry(addr) {
+            Entry::Occupied(mut e) => e.get_mut().push(w),
+            Entry::Vacant(e) => {
+                e.insert(vec![w]);
+                let home = self.part.home_of(addr);
+                if home as usize == self.lc {
+                    self.fe_queue.push(addr);
+                } else {
+                    self.outstanding += 1;
+                    self.report.remote_requests += 1;
+                    self.outbox.push_back(FabricMsg {
+                        kind: MsgKind::Request,
+                        src: self.lc as u16,
+                        dst: home,
+                        addr,
+                        packet_id: 0,
+                        sent_at: 0,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Complete every waiter parked on `addr` with its resolved result.
+    fn resolve(&mut self, addr: u32, nh: Option<u16>, version: u64) {
+        if let Some(waiters) = self.pending.remove(&addr) {
+            for w in waiters {
+                match w {
+                    Waiter::Local => self.complete(nh),
+                    Waiter::Remote { src, packet_id } => {
+                        self.push_reply(src, addr, packet_id, nh, version)
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_ctrl(&mut self) -> u64 {
+        let mut n = 0;
+        while let Some(msg) = self.ctrl_rx.try_pop() {
+            n += 1;
+            match msg {
+                CtrlMsg::Flush { version } => {
+                    self.cache.flush();
+                    self.inval_version = self.inval_version.max(version);
+                }
+                CtrlMsg::Invalidate { bits, len, version } => {
+                    self.cache.invalidate_covered(bits, len);
+                    self.inval_version = self.inval_version.max(version);
+                }
+            }
+        }
+        n
+    }
+
+    fn handle_request(&mut self, msg: FabricMsg, snap: &Snapshot) {
+        debug_assert_eq!(self.part.home_of(msg.addr) as usize, self.lc);
+        self.report.remote_served += 1;
+        match self.cache.probe(msg.addr) {
+            ProbeResult::Hit { value, .. } => {
+                self.push_reply(msg.src, msg.addr, msg.packet_id, value, snap.version)
+            }
+            ProbeResult::HitWaiting => self.park(
+                msg.addr,
+                Waiter::Remote {
+                    src: msg.src,
+                    packet_id: msg.packet_id,
+                },
+            ),
+            ProbeResult::Miss => {
+                let _ = self.cache.reserve(msg.addr);
+                self.park(
+                    msg.addr,
+                    Waiter::Remote {
+                        src: msg.src,
+                        packet_id: msg.packet_id,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_reply(&mut self, msg: FabricMsg, nh: Option<u16>) {
+        self.report.replies_received += 1;
+        self.outstanding -= 1;
+        if msg.sent_at >= self.inval_version {
+            self.cache.fill(msg.addr, nh, Origin::Rem);
+        } else {
+            // Result computed on a table older than an invalidation we
+            // already processed: complete the packet (one stale delivery,
+            // as on a real router) but evict the waiting entry instead of
+            // caching the value.
+            self.report.stale_replies += 1;
+            self.cache.invalidate_covered(msg.addr, 32);
+        }
+        self.resolve(msg.addr, nh, msg.sent_at);
+    }
+
+    fn drain_fabric(&mut self, snap: &Snapshot) -> u64 {
+        let mut n = 0;
+        for src in 0..self.psi {
+            let Some(mut rx) = self.req_rx[src].take() else {
+                continue;
+            };
+            while let Some(msg) = rx.try_pop() {
+                n += 1;
+                match msg.kind {
+                    MsgKind::Request => self.handle_request(msg, snap),
+                    MsgKind::Reply { next_hop } => self.handle_reply(msg, next_hop),
+                }
+            }
+            self.req_rx[src] = Some(rx);
+        }
+        n
+    }
+
+    fn admit_own(&mut self) -> u64 {
+        let end = (self.pos + self.batch).min(self.dests.len());
+        let n = (end - self.pos) as u64;
+        for i in self.pos..end {
+            let addr = self.dests[i];
+            match self.cache.probe(addr) {
+                ProbeResult::Hit { value, .. } => self.complete(value),
+                ProbeResult::HitWaiting => self.park(addr, Waiter::Local),
+                ProbeResult::Miss => {
+                    let _ = self.cache.reserve(addr);
+                    self.park(addr, Waiter::Local);
+                }
+            }
+        }
+        self.pos = end;
+        n
+    }
+
+    fn fe_flush(&mut self, snap: &Snapshot) {
+        if self.fe_queue.is_empty() {
+            return;
+        }
+        let addrs = std::mem::take(&mut self.fe_queue);
+        self.results.clear();
+        self.results.resize(addrs.len(), CountedLookup::MISS);
+        let table = &snap.tables[self.lc];
+        table.lookup_batch(&addrs, &mut self.results);
+        self.report.fe_batches += 1;
+        self.report.fe_lookups += addrs.len() as u64;
+        for (i, &addr) in addrs.iter().enumerate() {
+            let res = self.results[i];
+            if self.spot_check_every > 0 {
+                self.fe_since_check += 1;
+                if self.fe_since_check >= self.spot_check_every {
+                    self.fe_since_check = 0;
+                    self.report.spot_checks += 1;
+                    if table.lookup_counted(addr) != res {
+                        self.report.spot_check_mismatches += 1;
+                    }
+                }
+            }
+            let nh = res.next_hop.map(|h| h.0);
+            self.cache.fill(addr, nh, Origin::Loc);
+            self.resolve(addr, nh, snap.version);
+        }
+        // Reuse the allocation for the next iteration's queue.
+        self.fe_queue = addrs;
+        self.fe_queue.clear();
+    }
+
+    /// Try to deliver queued messages; a full destination ring defers
+    /// its messages (in order) to the next iteration rather than block.
+    fn flush_outbox(&mut self) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let mut blocked = vec![false; self.psi];
+        let mut deferred = VecDeque::new();
+        while let Some(msg) = self.outbox.pop_front() {
+            let dst = msg.dst as usize;
+            if blocked[dst] {
+                deferred.push_back(msg);
+                continue;
+            }
+            let tx = self.req_tx[dst]
+                .as_mut()
+                .expect("messages are never addressed to self");
+            if let Err(back) = tx.try_push(msg) {
+                blocked[dst] = true;
+                deferred.push_back(back);
+            }
+        }
+        self.outbox = deferred;
+    }
+
+    fn maybe_mark_done(&mut self) {
+        if !self.marked_done
+            && self.pos >= self.dests.len()
+            && self.pending.is_empty()
+            && self.outbox.is_empty()
+            && self.outstanding == 0
+        {
+            self.marked_done = true;
+            self.done.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn step(&mut self, snap: &Snapshot) -> (u64, u64) {
+        self.completed_this_iter = 0;
+        let mut work = self.drain_ctrl();
+        work += self.drain_fabric(snap);
+        work += self.admit_own();
+        self.fe_flush(snap);
+        self.flush_outbox();
+        self.maybe_mark_done();
+        (work, self.completed_this_iter)
+    }
+}
+
+impl Worker {
+    fn iterate(&mut self) -> (u64, u64) {
+        let pin = self.reader.pin();
+        self.core.step(&pin)
+    }
+
+    fn all_done(&self) -> bool {
+        self.core.done.load(Ordering::SeqCst) >= self.core.psi
+    }
+
+    fn run_threaded(mut self) -> (WorkerReport, Vec<f64>) {
+        let mut samples = Vec::new();
+        loop {
+            let t0 = Instant::now();
+            let (work, completed) = self.iterate();
+            if completed > 0 {
+                samples.push(t0.elapsed().as_nanos() as f64 / completed as f64);
+            }
+            if self.core.marked_done && self.all_done() {
+                break;
+            }
+            if work == 0 {
+                std::thread::yield_now();
+            }
+        }
+        self.into_results(samples)
+    }
+
+    fn into_results(mut self, samples: Vec<f64>) -> (WorkerReport, Vec<f64>) {
+        self.core.report.lc = self.core.lc;
+        self.core.report.cache = *self.core.cache.stats();
+        (self.core.report, samples)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------
+
+struct Control {
+    part: Arc<Partitioning>,
+    algorithm: LpmAlgorithm,
+    /// Per-LC routing-table fragments, kept current with every ingested
+    /// update — the rebuild source for non-incremental engines and the
+    /// oracle for the final consistency check.
+    per_lc_rib: Vec<RoutingTable>,
+    /// Updates ingested but not yet reflected in *both* snapshot
+    /// copies; `log[i]` has sequence number `base_seq + i`.
+    log: Vec<Update>,
+    base_seq: u64,
+    next_seq: u64,
+    writer: EpochWriter<Snapshot>,
+    shadow: Option<Box<Snapshot>>,
+    ctrl_tx: Vec<SpscProducer<CtrlMsg>>,
+    mode: InvalidationMode,
+    done: Arc<AtomicUsize>,
+    psi: usize,
+    /// Threaded mode spins on a full control ring (the worker will
+    /// drain it); the deterministic schedule cannot, so capacity is
+    /// sized to make overflow impossible and treated as a bug.
+    blocking: bool,
+    report: ChurnReport,
+}
+
+impl Control {
+    /// Bring `snap` up to `next_seq`: incrementally where the engine
+    /// supports it, by rebuilding the affected LC fragments otherwise.
+    fn sync(&self, snap: &mut Snapshot) {
+        let from = (snap.applied_seq - self.base_seq) as usize;
+        let mut dirty = vec![false; self.psi];
+        let mut any_dirty = false;
+        for &u in &self.log[from..] {
+            for lc in self.part.lcs_of_prefix(update_prefix(u)) {
+                let lc = lc as usize;
+                let ok = match u {
+                    Update::Announce(e) => snap.tables[lc].announce(e.prefix, e.next_hop),
+                    Update::Withdraw(p) => snap.tables[lc].withdraw(p),
+                };
+                if !ok {
+                    dirty[lc] = true;
+                    any_dirty = true;
+                }
+            }
+        }
+        if any_dirty {
+            for (lc, dirty) in dirty.iter().enumerate() {
+                if *dirty {
+                    snap.tables[lc] = ForwardingTable::build(self.algorithm, &self.per_lc_rib[lc]);
+                }
+            }
+        }
+        snap.applied_seq = self.next_seq;
+    }
+
+    fn broadcast(&mut self, msg: CtrlMsg) {
+        for lc in 0..self.psi {
+            let tx = &mut self.ctrl_tx[lc];
+            loop {
+                match tx.try_push(msg) {
+                    Ok(()) => {
+                        self.report.invalidations_sent += 1;
+                        break;
+                    }
+                    Err(_) => {
+                        if self.done.load(Ordering::SeqCst) >= self.psi {
+                            // Every worker finished; its cache no longer
+                            // serves lookups, so the invalidation is moot.
+                            break;
+                        }
+                        assert!(
+                            self.blocking,
+                            "control ring overflow in deterministic mode (capacity bug)"
+                        );
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Apply one update batch and make it visible to the dataplane:
+    /// RIB fragments → shadow sync → RCU publish (grace period) →
+    /// cache invalidations. The recorded latency spans all four.
+    fn publish_batch(&mut self, batch: &[Update]) {
+        let t0 = Instant::now();
+        for &u in batch {
+            for lc in self.part.lcs_of_prefix(update_prefix(u)) {
+                let rib = &mut self.per_lc_rib[lc as usize];
+                match u {
+                    Update::Announce(e) => {
+                        rib.insert(e);
+                    }
+                    Update::Withdraw(p) => {
+                        rib.remove(p);
+                    }
+                }
+            }
+            self.log.push(u);
+            self.next_seq += 1;
+        }
+        let mut shadow = self.shadow.take().expect("shadow snapshot present");
+        self.sync(&mut shadow);
+        shadow.version = self.writer.epoch() + 1;
+        // Ping-pong: the returned previous snapshot becomes the next
+        // shadow; it lags by exactly this batch, which stays in the log.
+        let old = self.writer.publish(shadow);
+        let lag = old.applied_seq;
+        self.shadow = Some(old);
+        self.log.drain(..(lag - self.base_seq) as usize);
+        self.base_seq = lag;
+        let version = self.writer.epoch();
+        match self.mode {
+            InvalidationMode::FullFlush => self.broadcast(CtrlMsg::Flush { version }),
+            InvalidationMode::Targeted => {
+                for &u in batch {
+                    let p = update_prefix(u);
+                    self.broadcast(CtrlMsg::Invalidate {
+                        bits: p.bits(),
+                        len: p.len(),
+                        version,
+                    });
+                }
+            }
+        }
+        self.report.updates_applied += batch.len() as u64;
+        self.report.publications += 1;
+        self.report
+            .apply_us
+            .record(t0.elapsed().as_secs_f64() * 1e6);
+    }
+
+    /// Threaded control loop: publish batches at the configured pace
+    /// until the stream or the workers run out.
+    fn run_paced(&mut self, updates: &[Update], per_pub: usize, pace_us: u64) {
+        for batch in updates.chunks(per_pub.max(1)) {
+            if self.done.load(Ordering::SeqCst) >= self.psi {
+                break;
+            }
+            self.publish_batch(batch);
+            if pace_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(pace_us));
+            }
+        }
+    }
+
+    /// Sample the published tables against the per-LC RIB oracle (each
+    /// address checked at its home LC, where lookups happen).
+    fn final_check(&mut self, samples: usize, seed: u64) {
+        let mut x = seed | 1;
+        for _ in 0..samples {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = (x as u32) ^ ((x >> 32) as u32);
+            let lc = self.part.home_of(addr) as usize;
+            let expect = self.per_lc_rib[lc].longest_match(addr).map(|e| e.next_hop);
+            let got = self.writer.peek().tables[lc].lookup(addr);
+            self.report.final_checks += 1;
+            if expect != got {
+                self.report.final_mismatches += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Run orchestration
+// ---------------------------------------------------------------------
+
+/// Run the dataplane over `traces` (trace `i % traces.len()` drives
+/// worker `i`; each trace is consumed once) against `table`.
+pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> DataplaneReport {
+    let psi = cfg.workers;
+    assert!(psi >= 1, "need at least one worker");
+    assert!(!traces.is_empty(), "need at least one trace");
+    assert!(
+        traces.iter().all(|t| !t.is_empty()),
+        "traces must be non-empty"
+    );
+
+    let bits = select_bits(table, eta_for(psi));
+    let part = Arc::new(Partitioning::new(table, bits, psi));
+    let per_lc_rib = part.forwarding_tables(table);
+    let build = |version: u64| {
+        Box::new(Snapshot {
+            tables: per_lc_rib
+                .iter()
+                .map(|f| ForwardingTable::build(cfg.algorithm, f))
+                .collect(),
+            applied_seq: 0,
+            version,
+        })
+    };
+    let (writer, readers) = epoch_table(build(0), psi);
+    let shadow = build(0);
+
+    // Fabric rings: one SPSC ring per ordered worker pair.
+    let mut tx_mat: Vec<Vec<Option<SpscProducer<FabricMsg>>>> =
+        (0..psi).map(|_| (0..psi).map(|_| None).collect()).collect();
+    let mut rx_mat: Vec<Vec<Option<SpscConsumer<FabricMsg>>>> =
+        (0..psi).map(|_| (0..psi).map(|_| None).collect()).collect();
+    for src in 0..psi {
+        for dst in 0..psi {
+            if src != dst {
+                let (tx, rx) = spsc_ring(cfg.ring_capacity.max(2));
+                tx_mat[src][dst] = Some(tx);
+                rx_mat[dst][src] = Some(rx);
+            }
+        }
+    }
+
+    // Control rings, sized so one publication's worth of targeted
+    // invalidations always fits (the deterministic schedule cannot spin
+    // on a full ring).
+    let per_pub = cfg
+        .churn
+        .as_ref()
+        .map(|c| c.updates_per_publication)
+        .unwrap_or(0);
+    let ctrl_cap = cfg.ring_capacity.max(2 * per_pub + 8);
+    let mut ctrl_tx = Vec::with_capacity(psi);
+    let mut ctrl_rx = Vec::with_capacity(psi);
+    for _ in 0..psi {
+        let (tx, rx) = spsc_ring(ctrl_cap);
+        ctrl_tx.push(tx);
+        ctrl_rx.push(rx);
+    }
+
+    let done = Arc::new(AtomicUsize::new(0));
+    let mut workers: Vec<Worker> = Vec::with_capacity(psi);
+    for (lc, reader) in readers.into_iter().enumerate() {
+        workers.push(Worker {
+            reader,
+            core: WorkerCore {
+                lc,
+                psi,
+                part: Arc::clone(&part),
+                cache: LrCache::new(cfg.cache.clone()),
+                dests: traces[lc % traces.len()].destinations_shared(),
+                pos: 0,
+                batch: cfg.batch.max(1),
+                req_tx: std::mem::take(&mut tx_mat[lc]),
+                req_rx: std::mem::take(&mut rx_mat[lc]),
+                ctrl_rx: ctrl_rx.remove(0),
+                outbox: VecDeque::new(),
+                pending: HashMap::new(),
+                fe_queue: Vec::new(),
+                results: Vec::new(),
+                inval_version: 0,
+                outstanding: 0,
+                spot_check_every: cfg.spot_check_every,
+                fe_since_check: 0,
+                report: WorkerReport::default(),
+                done: Arc::clone(&done),
+                marked_done: false,
+                completed_this_iter: 0,
+            },
+        });
+    }
+
+    let mut control = Control {
+        part: Arc::clone(&part),
+        algorithm: cfg.algorithm,
+        per_lc_rib,
+        log: Vec::new(),
+        base_seq: 0,
+        next_seq: 0,
+        writer,
+        shadow: Some(shadow),
+        ctrl_tx,
+        mode: cfg.invalidation,
+        done: Arc::clone(&done),
+        psi,
+        blocking: !cfg.deterministic,
+        report: ChurnReport::default(),
+    };
+
+    let updates = cfg.churn.as_ref().map(|c| {
+        update_stream(
+            table,
+            &UpdateStreamConfig {
+                count: c.updates,
+                withdraw_fraction: c.withdraw_fraction,
+                seed: cfg.seed ^ 0x5EED_CAFE,
+            },
+        )
+        .0
+    });
+
+    let t0 = Instant::now();
+    let (mut results, elapsed) = if cfg.deterministic {
+        let r = run_deterministic(&mut workers, &mut control, updates.as_deref(), cfg);
+        (r, t0.elapsed())
+    } else {
+        let r = run_threaded(workers, &mut control, updates.as_deref(), cfg);
+        (r, t0.elapsed())
+    };
+
+    let mut report = DataplaneReport {
+        deterministic: cfg.deterministic,
+        elapsed,
+        ..Default::default()
+    };
+    let mut all_samples = Vec::new();
+    results.sort_by_key(|(w, _)| w.lc);
+    for (w, samples) in results {
+        all_samples.extend(samples);
+        report.workers.push(w);
+    }
+    report.tail = TailSummary::from_samples(all_samples);
+    if cfg.churn.is_some() {
+        control.final_check(1_000, cfg.seed ^ 0xF1A1);
+        report.churn = Some(control.report.clone());
+    }
+    report
+}
+
+fn run_threaded(
+    workers: Vec<Worker>,
+    control: &mut Control,
+    updates: Option<&[Update]>,
+    cfg: &DataplaneConfig,
+) -> Vec<(WorkerReport, Vec<f64>)> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .map(|w| s.spawn(move || w.run_threaded()))
+            .collect();
+        if let Some(updates) = updates {
+            let churn = cfg.churn.as_ref().expect("updates imply churn config");
+            control.run_paced(updates, churn.updates_per_publication, churn.pace_us);
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+fn run_deterministic(
+    workers: &mut [Worker],
+    control: &mut Control,
+    updates: Option<&[Update]>,
+    cfg: &DataplaneConfig,
+) -> Vec<(WorkerReport, Vec<f64>)> {
+    let psi = workers.len();
+    let done = Arc::clone(&workers[0].core.done);
+    // Spread publications evenly over the rounds the longest trace
+    // needs, so churn overlaps forwarding deterministically.
+    let mut batches: VecDeque<&[Update]> = match (updates, cfg.churn.as_ref()) {
+        (Some(u), Some(c)) => u.chunks(c.updates_per_publication.max(1)).collect(),
+        _ => VecDeque::new(),
+    };
+    let longest = workers
+        .iter()
+        .map(|w| w.core.dests.len())
+        .max()
+        .unwrap_or(0);
+    let total_rounds = longest.div_ceil(cfg.batch.max(1)).max(1);
+    let publish_every = (total_rounds / (batches.len() + 1)).max(1);
+
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); psi];
+    let mut round = 0usize;
+    let round_cap = 1000 * total_rounds + 10_000;
+    while done.load(Ordering::SeqCst) < psi {
+        round += 1;
+        assert!(
+            round <= round_cap,
+            "deterministic schedule failed to quiesce"
+        );
+        if !batches.is_empty() && round.is_multiple_of(publish_every) {
+            let batch = batches.pop_front().expect("non-empty");
+            control.publish_batch(batch);
+        }
+        for (i, w) in workers.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            let (_, completed) = w.iterate();
+            if completed > 0 {
+                samples[i].push(t0.elapsed().as_nanos() as f64 / completed as f64);
+            }
+        }
+    }
+    // Publish whatever churn remains so the final table reflects the
+    // whole stream (mirrors the paced mode finishing its stream).
+    while let Some(batch) = batches.pop_front() {
+        control.publish_batch(batch);
+    }
+    workers
+        .iter_mut()
+        .map(|w| {
+            w.core.report.lc = w.core.lc;
+            w.core.report.cache = *w.core.cache.stats();
+            (
+                w.core.report.clone(),
+                std::mem::take(&mut samples[w.core.lc]),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spal_rib::synth;
+    use spal_traffic::{preset, PresetName, TracePreset};
+
+    fn small_setup(psi: usize, packets: usize) -> (RoutingTable, Vec<Trace>) {
+        let table = synth::small(11);
+        let p = TracePreset {
+            distinct: 400,
+            ..preset(PresetName::D75)
+        };
+        let traces = p.generate(&table, psi * packets, 5).split(psi);
+        (table, traces)
+    }
+
+    fn oracle_checksum(table: &RoutingTable, traces: &[Trace]) -> (u64, u64) {
+        let mut packets = 0u64;
+        let mut sum = 0u64;
+        for t in traces {
+            for &addr in t.destinations() {
+                packets += 1;
+                sum = sum.wrapping_add(
+                    table
+                        .longest_match(addr)
+                        .map(|e| e.next_hop.0 as u64 + 1)
+                        .unwrap_or(0),
+                );
+            }
+        }
+        (packets, sum)
+    }
+
+    #[test]
+    fn deterministic_single_worker_matches_oracle() {
+        let (table, traces) = small_setup(1, 3_000);
+        let cfg = DataplaneConfig {
+            workers: 1,
+            deterministic: true,
+            cache: LrCacheConfig::paper(256),
+            ..Default::default()
+        };
+        let report = run(&table, &traces, &cfg);
+        let (packets, sum) = oracle_checksum(&table, &traces);
+        assert_eq!(report.total_packets(), packets);
+        assert_eq!(report.checksum(), sum);
+        assert_eq!(report.spot_check_mismatches(), 0);
+        assert!(report.workers[0].remote_requests == 0);
+    }
+
+    #[test]
+    fn deterministic_multi_worker_matches_oracle_and_shares_results() {
+        let (table, traces) = small_setup(4, 2_000);
+        let cfg = DataplaneConfig {
+            workers: 4,
+            deterministic: true,
+            cache: LrCacheConfig::paper(256),
+            ..Default::default()
+        };
+        let report = run(&table, &traces, &cfg);
+        let (packets, sum) = oracle_checksum(&table, &traces);
+        assert_eq!(report.total_packets(), packets);
+        assert_eq!(report.checksum(), sum);
+        assert_eq!(report.spot_check_mismatches(), 0);
+        // Cross-LC traffic exists and produces REM-origin cache entries.
+        let remote: u64 = report.workers.iter().map(|w| w.remote_requests).sum();
+        let served: u64 = report.workers.iter().map(|w| w.remote_served).sum();
+        assert!(remote > 0, "expected cross-LC requests");
+        assert_eq!(
+            remote,
+            report
+                .workers
+                .iter()
+                .map(|w| w.replies_received)
+                .sum::<u64>()
+        );
+        assert_eq!(remote, served);
+        assert!(report.rem_share() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_runs_are_reproducible() {
+        let (table, traces) = small_setup(3, 1_000);
+        let cfg = DataplaneConfig {
+            workers: 3,
+            deterministic: true,
+            cache: LrCacheConfig::paper(128),
+            ..Default::default()
+        };
+        let a = run(&table, &traces, &cfg);
+        let b = run(&table, &traces, &cfg);
+        assert_eq!(a.checksum(), b.checksum());
+        for (wa, wb) in a.workers.iter().zip(&b.workers) {
+            assert_eq!(wa.cache, wb.cache, "lc {} stats differ", wa.lc);
+            assert_eq!(wa.fe_lookups, wb.fe_lookups);
+            assert_eq!(wa.remote_requests, wb.remote_requests);
+        }
+    }
+
+    #[test]
+    fn threaded_run_matches_oracle() {
+        let (table, traces) = small_setup(4, 2_000);
+        let cfg = DataplaneConfig {
+            workers: 4,
+            cache: LrCacheConfig::paper(256),
+            ..Default::default()
+        };
+        let report = run(&table, &traces, &cfg);
+        let (packets, sum) = oracle_checksum(&table, &traces);
+        assert_eq!(report.total_packets(), packets);
+        assert_eq!(report.checksum(), sum);
+        assert_eq!(report.spot_check_mismatches(), 0);
+    }
+}

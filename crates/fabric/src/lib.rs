@@ -15,12 +15,18 @@
 //!   and one delivery per destination per cycle (port serialisation), and
 //!   a single shared injection slot per cycle for the bus topology;
 //! * [`queue::Queue`] provides the FIFO queues the FIL chips use
-//!   (input, request, outgoing, incoming — Fig. 2 of the paper).
+//!   (input, request, outgoing, incoming — Fig. 2 of the paper);
+//! * [`spsc::spsc_ring`] provides the bounded lock-free SPSC rings the
+//!   multi-threaded dataplane runtime uses as real point-to-point links
+//!   between LC worker threads (same [`FabricMsg`] payloads, actual
+//!   concurrency instead of modelled cycle latency).
 
 pub mod msg;
 pub mod queue;
+pub mod spsc;
 pub mod topology;
 
 pub use msg::{FabricMsg, MsgKind};
 pub use queue::Queue;
+pub use spsc::{spsc_ring, SpscConsumer, SpscProducer};
 pub use topology::{FabricModel, FabricStats, SendError, SwitchingFabric};

@@ -1,0 +1,244 @@
+//! Bounded lock-free single-producer/single-consumer rings — the
+//! dataplane's stand-in for the fabric's point-to-point links.
+//!
+//! The discrete-event simulator models the fabric's *timing*
+//! ([`crate::SwitchingFabric`]); the multi-threaded dataplane runtime
+//! needs its *mechanism*: a wait-free channel one LC worker can push
+//! [`crate::FabricMsg`]s into while the destination worker pops them,
+//! with no locks on either side. This is the classic Lamport ring:
+//!
+//! * a power-of-two slot array, a producer-owned `head` and a
+//!   consumer-owned `tail`, both monotonically increasing indices taken
+//!   modulo the capacity;
+//! * the producer writes the slot *before* publishing it with a
+//!   `Release` store of `head`; the consumer `Acquire`-loads `head`, so
+//!   the slot write happens-before the slot read (and symmetrically for
+//!   `tail` on the consume side, so a slot is never overwritten before
+//!   its previous occupant has been read out);
+//! * items are `Copy`, so slots need no drop handling and a ring can be
+//!   torn down regardless of occupancy.
+//!
+//! Each half is `Send` (it moves to its worker thread) but deliberately
+//! neither `Clone` nor `Sync`: exactly one producer and one consumer
+//! exist per ring, which is what makes plain loads/stores on the indices
+//! sufficient.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct RingInner<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next index the producer will write (only the producer stores it).
+    head: AtomicUsize,
+    /// Next index the consumer will read (only the consumer stores it).
+    tail: AtomicUsize,
+}
+
+// SAFETY: the producer/consumer split guarantees each slot is accessed
+// by at most one thread at a time, with the head/tail Release/Acquire
+// pairs ordering the accesses; T: Send is required to move items across.
+unsafe impl<T: Send> Sync for RingInner<T> {}
+
+/// Producer half of a bounded SPSC ring (see [`spsc_ring`]).
+pub struct SpscProducer<T> {
+    inner: Arc<RingInner<T>>,
+    mask: usize,
+}
+
+/// Consumer half of a bounded SPSC ring (see [`spsc_ring`]).
+pub struct SpscConsumer<T> {
+    inner: Arc<RingInner<T>>,
+    mask: usize,
+}
+
+/// Create a bounded SPSC ring holding at most `capacity` items
+/// (rounded up to a power of two, minimum 2).
+pub fn spsc_ring<T: Copy + Send>(capacity: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let inner = Arc::new(RingInner {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        SpscProducer {
+            inner: Arc::clone(&inner),
+            mask: cap - 1,
+        },
+        SpscConsumer {
+            inner,
+            mask: cap - 1,
+        },
+    )
+}
+
+impl<T: Copy + Send> SpscProducer<T> {
+    /// Capacity of the ring (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Try to append `item`; returns it back if the ring is full.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        let head = self.inner.head.load(Ordering::Relaxed);
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) > self.mask {
+            return Err(item);
+        }
+        // SAFETY: the slot at `head` is past the consumer's tail (checked
+        // above), so only this producer touches it until the Release
+        // store below publishes it.
+        unsafe {
+            (*self.inner.slots[head & self.mask].get()).write(item);
+        }
+        self.inner
+            .head
+            .store(head.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of items currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.inner
+            .head
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.inner.tail.load(Ordering::Acquire))
+    }
+
+    /// Whether the ring currently holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Copy + Send> SpscConsumer<T> {
+    /// Capacity of the ring (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Try to remove the oldest item.
+    pub fn try_pop(&mut self) -> Option<T> {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: head > tail, so the producer published this slot (the
+        // Acquire load of `head` ordered its write before this read) and
+        // will not rewrite it until `tail` advances past it.
+        let item = unsafe { (*self.inner.slots[tail & self.mask].get()).assume_init_read() };
+        self.inner
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
+        Some(item)
+    }
+
+    /// Number of items currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.inner
+            .head
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.inner.tail.load(Ordering::Relaxed))
+    }
+
+    /// Whether the ring currently holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (mut tx, mut rx) = spsc_ring::<u32>(4);
+        assert_eq!(tx.capacity(), 4);
+        for i in 0..4 {
+            assert!(tx.try_push(i).is_ok());
+        }
+        assert_eq!(tx.try_push(99), Err(99));
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = spsc_ring::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = spsc_ring::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let (mut tx, mut rx) = spsc_ring::<u64>(4);
+        for round in 0..10u64 {
+            for i in 0..3 {
+                assert!(tx.try_push(round * 10 + i).is_ok());
+            }
+            for i in 0..3 {
+                assert_eq!(rx.try_pop(), Some(round * 10 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_thread_stress_no_loss_no_reorder() {
+        // Push a long sequence through a tiny ring from another thread;
+        // every item must come out exactly once, in order.
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = spsc_ring::<u64>(8);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut item = i;
+                loop {
+                    match tx.try_push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            match rx.try_pop() {
+                Some(v) => {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn carries_fabric_messages() {
+        use crate::{FabricMsg, MsgKind};
+        let (mut tx, mut rx) = spsc_ring::<FabricMsg>(16);
+        let msg = FabricMsg {
+            kind: MsgKind::Reply { next_hop: Some(7) },
+            src: 1,
+            dst: 2,
+            addr: 0x0A000001,
+            packet_id: 42,
+            sent_at: 0,
+        };
+        tx.try_push(msg).unwrap();
+        assert_eq!(rx.try_pop(), Some(msg));
+    }
+}

@@ -8,6 +8,10 @@ cargo build --release -p spal-bench
 # contract is broken, so perf is tracked alongside the science.
 echo "=== bench_gate ==="
 ./target/release/bench_gate "$@" | tee results/bench_gate.txt
+# Threaded-dataplane gate: refreshes BENCH_dataplane.json (worker
+# scaling, churn degradation, oracle checksums) — E18's harness.
+echo "=== bench_dataplane ==="
+./target/release/bench_dataplane "$@" | tee results/bench_dataplane.txt
 for exp in exp_partitioning exp_storage exp_fig3_sram exp_accesses \
            exp_fig4_mix exp_fig5_cache_size exp_fig6_scaling exp_headline \
            exp_length_partition exp_speed_cases exp_ablations exp_update_rate \
