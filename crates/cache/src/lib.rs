@@ -22,14 +22,17 @@
 //! The cache is generic over the stored value so it does not depend on
 //! the routing-table crate; SPAL stores `NextHop` in it.
 
+pub mod addr;
 pub mod lr;
 pub mod policy;
 pub mod range;
 pub mod stats;
 pub mod victim;
 
+pub use addr::CacheAddr;
 pub use lr::{
-    FillOutcome, IndexScheme, LrCache, LrCacheConfig, MixMode, Origin, ProbeResult, ReserveOutcome,
+    FillOutcome, IndexScheme, LrCache, LrCache6, LrCacheConfig, MixMode, Origin, ProbeResult,
+    ReserveOutcome,
 };
 pub use policy::ReplacementPolicy;
 pub use stats::CacheStats;

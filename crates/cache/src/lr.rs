@@ -1,6 +1,7 @@
 //! The set-associative LR-cache itself: probe / reserve / fill / flush,
 //! with the M-bit mix rule and W-bit waiting entries of §3.2.
 
+use crate::addr::CacheAddr;
 use crate::policy::ReplacementPolicy;
 use crate::stats::CacheStats;
 use crate::victim::{VictimBlock, VictimCache};
@@ -125,23 +126,23 @@ pub enum FillOutcome {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Block<V> {
+enum Block<V, A: CacheAddr> {
     Invalid,
     /// W bit set: address recorded, reply pending.
     Waiting {
-        addr: u32,
+        addr: A,
     },
     /// Availability = shared: a complete result.
     Complete {
-        addr: u32,
+        addr: A,
         value: V,
         origin: Origin,
     },
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Way<V> {
-    block: Block<V>,
+struct Way<V, A: CacheAddr> {
+    block: Block<V, A>,
     lru: u64,
     fifo: u64,
 }
@@ -162,11 +163,11 @@ struct Way<V> {
 /// assert!(matches!(cache.probe(0x0A010203), ProbeResult::Hit { value: 7, .. }));
 /// ```
 #[derive(Debug)]
-pub struct LrCache<V> {
+pub struct LrCache<V, A: CacheAddr = u32> {
     config: LrCacheConfig,
     sets: usize,
-    ways: Vec<Way<V>>, // sets × assoc, row-major
-    victim: VictimCache<V>,
+    ways: Vec<Way<V, A>>, // sets × assoc, row-major
+    victim: VictimCache<V, A>,
     stats: CacheStats,
     clock: u64,
     rng: SmallRng,
@@ -174,7 +175,7 @@ pub struct LrCache<V> {
     rem_quota: usize,
 }
 
-impl<V: Copy + Eq + std::fmt::Debug> LrCache<V> {
+impl<V: Copy + Eq + std::fmt::Debug, A: CacheAddr> LrCache<V, A> {
     /// Build a cache from a configuration.
     ///
     /// # Panics
@@ -231,13 +232,12 @@ impl<V: Copy + Eq + std::fmt::Debug> LrCache<V> {
     }
 
     #[inline]
-    fn set_of(&self, addr: u32) -> usize {
-        let mask = (self.sets - 1) as u32;
-        let idx = match self.config.index_scheme {
-            IndexScheme::LowBits => addr & mask,
-            IndexScheme::XorFold => (addr ^ (addr >> 16)) & mask,
-        };
-        idx as usize
+    fn set_of(&self, addr: A) -> usize {
+        let mask = self.sets - 1;
+        match self.config.index_scheme {
+            IndexScheme::LowBits => addr.low_bits() & mask,
+            IndexScheme::XorFold => addr.xor_fold() & mask,
+        }
     }
 
     #[inline]
@@ -248,7 +248,7 @@ impl<V: Copy + Eq + std::fmt::Debug> LrCache<V> {
 
     /// Probe for `addr` (one cache port operation). Updates recency and
     /// statistics; promotes victim-cache hits back into the main array.
-    pub fn probe(&mut self, addr: u32) -> ProbeResult<V> {
+    pub fn probe(&mut self, addr: A) -> ProbeResult<V> {
         self.clock += 1;
         let range = self.set_range(self.set_of(addr));
         for i in range.clone() {
@@ -300,7 +300,7 @@ impl<V: Copy + Eq + std::fmt::Debug> LrCache<V> {
     /// result. Idempotent: reserving an address that already has an
     /// entry (waiting or complete) re-marks that entry as waiting
     /// instead of creating a duplicate.
-    pub fn reserve(&mut self, addr: u32) -> ReserveOutcome {
+    pub fn reserve(&mut self, addr: A) -> ReserveOutcome {
         self.clock += 1;
         let set = self.set_of(addr);
         for i in self.set_range(set) {
@@ -335,7 +335,7 @@ impl<V: Copy + Eq + std::fmt::Debug> LrCache<V> {
     /// Deliver a lookup result. Completes the waiting entry for `addr` if
     /// one exists; otherwise inserts a fresh complete entry (the
     /// reservation may have failed earlier or been flushed away).
-    pub fn fill(&mut self, addr: u32, value: V, origin: Origin) -> FillOutcome {
+    pub fn fill(&mut self, addr: A, value: V, origin: Origin) -> FillOutcome {
         self.clock += 1;
         let range = self.set_range(self.set_of(addr));
         for i in range {
@@ -401,16 +401,13 @@ impl<V: Copy + Eq + std::fmt::Debug> LrCache<V> {
     /// `spal_rib::Prefix` pass `(p.bits(), p.len())`.
     ///
     /// # Panics
-    /// Panics if `prefix_len > 32`.
-    pub fn invalidate_covered(&mut self, prefix_bits: u32, prefix_len: u8) -> usize {
-        assert!(prefix_len <= 32, "prefix length {prefix_len} out of range");
-        let mask = if prefix_len == 0 {
-            0
-        } else {
-            u32::MAX << (32 - prefix_len)
-        };
-        let bits = prefix_bits & mask;
-        let covered = |addr: u32| addr & mask == bits;
+    /// Panics if `prefix_len` exceeds the address width.
+    pub fn invalidate_covered(&mut self, prefix_bits: A, prefix_len: u8) -> usize {
+        assert!(
+            prefix_len <= A::BITS,
+            "prefix length {prefix_len} out of range"
+        );
+        let covered = |addr: A| addr.covered_by(prefix_bits, prefix_len);
         let mut dropped = 0usize;
         for way in &mut self.ways {
             let addr = match way.block {
@@ -451,10 +448,23 @@ impl<V: Copy + Eq + std::fmt::Debug> LrCache<V> {
             .count()
     }
 
+    /// Iterate over every complete entry currently resident — main
+    /// array and victim cache alike. Waiting (W-bit) entries carry no
+    /// value yet and are skipped. Diagnostic; O(blocks).
+    pub fn entries(&self) -> impl Iterator<Item = (A, V)> + '_ {
+        self.ways
+            .iter()
+            .filter_map(|w| match w.block {
+                Block::Complete { addr, value, .. } => Some((addr, value)),
+                _ => None,
+            })
+            .chain(self.victim.entries())
+    }
+
     /// Install a complete entry directly (victim promotion, or a fill
     /// whose reservation was lost). Returns false when every block in the
     /// set is waiting.
-    fn install(&mut self, addr: u32, value: V, origin: Origin) -> bool {
+    fn install(&mut self, addr: A, value: V, origin: Origin) -> bool {
         let set = self.set_of(addr);
         let Some(i) = self.pick_slot(set) else {
             return false;
@@ -555,6 +565,10 @@ impl<V: Copy + Eq + std::fmt::Debug> LrCache<V> {
     }
 }
 
+/// An IPv6 LR-cache: identical §3.2 machinery keyed on `u128`
+/// addresses (prefix lengths up to /128).
+pub type LrCache6<V> = LrCache<V, u128>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -631,7 +645,7 @@ mod tests {
     #[test]
     fn mix_rule_evicts_over_represented_class() {
         // assoc 4, γ = 50 % → REM quota 2.
-        let mut c = LrCache::new(LrCacheConfig {
+        let mut c: LrCache<u16> = LrCache::new(LrCacheConfig {
             blocks: 4,
             assoc: 4,
             victim_blocks: 0,
@@ -654,7 +668,7 @@ mod tests {
     fn mix_rule_protects_under_represented_class() {
         // 3 LOC + 1 REM with γ = 50 %: LOC (quota 2) is over → LOC evicted
         // even though the REM block is the LRU.
-        let mut c = LrCache::new(LrCacheConfig {
+        let mut c: LrCache<u16> = LrCache::new(LrCacheConfig {
             blocks: 4,
             assoc: 4,
             victim_blocks: 0,
@@ -673,7 +687,7 @@ mod tests {
 
     #[test]
     fn mix_ignore_mode_is_plain_lru() {
-        let mut c = LrCache::new(LrCacheConfig {
+        let mut c: LrCache<u16> = LrCache::new(LrCacheConfig {
             blocks: 4,
             assoc: 4,
             victim_blocks: 0,
@@ -706,7 +720,7 @@ mod tests {
 
     #[test]
     fn victim_cache_rescues_conflict_misses() {
-        let mut with_victim = LrCache::new(LrCacheConfig {
+        let mut with_victim: LrCache<u16> = LrCache::new(LrCacheConfig {
             blocks: 4,
             assoc: 4,
             victim_blocks: 8,
@@ -726,7 +740,7 @@ mod tests {
 
     #[test]
     fn victim_promotion_preserves_origin() {
-        let mut c = LrCache::new(LrCacheConfig {
+        let mut c: LrCache<u16> = LrCache::new(LrCacheConfig {
             blocks: 4,
             assoc: 4,
             victim_blocks: 8,
@@ -745,7 +759,7 @@ mod tests {
 
     #[test]
     fn flush_invalidates_everything() {
-        let mut c = LrCache::new(LrCacheConfig::default());
+        let mut c: LrCache<u16> = LrCache::new(LrCacheConfig::default());
         c.fill(1, 1, Origin::Loc);
         c.reserve(2);
         c.flush();
@@ -758,7 +772,7 @@ mod tests {
 
     #[test]
     fn invalidate_covered_is_prefix_targeted() {
-        let mut c = LrCache::new(LrCacheConfig::default());
+        let mut c: LrCache<u16> = LrCache::new(LrCacheConfig::default());
         // Two addresses under 10.0.0.0/8, one outside it.
         c.fill(0x0A00_0001, 1, Origin::Loc);
         c.fill(0x0A01_0002, 2, Origin::Rem);
@@ -777,7 +791,7 @@ mod tests {
 
     #[test]
     fn invalidate_covered_drops_waiting_entries() {
-        let mut c = LrCache::new(LrCacheConfig::default());
+        let mut c: LrCache<u16> = LrCache::new(LrCacheConfig::default());
         c.reserve(0x0A00_0001);
         c.reserve(0xC0A8_0001);
         assert_eq!(c.invalidate_covered(0x0A00_0000, 8), 1);
@@ -789,7 +803,7 @@ mod tests {
 
     #[test]
     fn invalidate_covered_reaches_victim_cache() {
-        let mut c = LrCache::new(LrCacheConfig {
+        let mut c: LrCache<u16> = LrCache::new(LrCacheConfig {
             blocks: 4,
             assoc: 4,
             victim_blocks: 8,
@@ -808,8 +822,8 @@ mod tests {
 
     #[test]
     fn invalidate_covered_zero_length_equals_flush() {
-        let mut targeted = LrCache::new(LrCacheConfig::default());
-        let mut flushed = LrCache::new(LrCacheConfig::default());
+        let mut targeted: LrCache<u16> = LrCache::new(LrCacheConfig::default());
+        let mut flushed: LrCache<u16> = LrCache::new(LrCacheConfig::default());
         for i in 0..64u32 {
             targeted.fill(i * 131, i as u16, Origin::Loc);
             flushed.fill(i * 131, i as u16, Origin::Loc);
@@ -825,7 +839,7 @@ mod tests {
 
     #[test]
     fn occupancy_tracks_classes() {
-        let mut c = LrCache::new(LrCacheConfig::default());
+        let mut c: LrCache<u16> = LrCache::new(LrCacheConfig::default());
         c.fill(1, 1, Origin::Loc);
         c.fill(2, 2, Origin::Rem);
         c.fill(3, 3, Origin::Rem);
@@ -853,14 +867,14 @@ mod tests {
 
     #[test]
     fn xorfold_differs_from_lowbits() {
-        let mut a = LrCache::new(LrCacheConfig {
+        let mut a: LrCache<u16> = LrCache::new(LrCacheConfig {
             blocks: 64,
             assoc: 4,
             victim_blocks: 0,
             index_scheme: IndexScheme::LowBits,
             ..Default::default()
         });
-        let mut b = LrCache::new(LrCacheConfig {
+        let mut b: LrCache<u16> = LrCache::new(LrCacheConfig {
             blocks: 64,
             assoc: 4,
             victim_blocks: 0,

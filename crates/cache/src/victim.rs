@@ -3,13 +3,14 @@
 //! equips every LR-cache with an 8-block victim cache and probes it in
 //! parallel with the main array.
 
+use crate::addr::CacheAddr;
 use crate::policy::ReplacementPolicy;
 use rand::rngs::SmallRng;
 
 /// A complete (non-waiting) block stored in the victim cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct VictimBlock<V> {
-    pub addr: u32,
+pub struct VictimBlock<V, A: CacheAddr = u32> {
+    pub addr: A,
     pub value: V,
     /// The M bit travels with the block so a promoted entry keeps its
     /// LOC/REM class.
@@ -17,8 +18,8 @@ pub struct VictimBlock<V> {
 }
 
 #[derive(Debug, Clone)]
-struct Slot<V> {
-    block: VictimBlock<V>,
+struct Slot<V, A: CacheAddr> {
+    block: VictimBlock<V, A>,
     lru: u64,
     fifo: u64,
 }
@@ -26,14 +27,14 @@ struct Slot<V> {
 /// Fully-associative victim cache with a configurable capacity and
 /// replacement policy (LRU by default, matching §5.1).
 #[derive(Debug, Clone)]
-pub struct VictimCache<V> {
-    slots: Vec<Slot<V>>,
+pub struct VictimCache<V, A: CacheAddr = u32> {
+    slots: Vec<Slot<V, A>>,
     capacity: usize,
     policy: ReplacementPolicy,
     clock: u64,
 }
 
-impl<V: Copy + Eq> VictimCache<V> {
+impl<V: Copy + Eq, A: CacheAddr> VictimCache<V, A> {
     /// Create a victim cache with `capacity` blocks (0 disables it).
     pub fn new(capacity: usize, policy: ReplacementPolicy) -> Self {
         VictimCache {
@@ -61,13 +62,13 @@ impl<V: Copy + Eq> VictimCache<V> {
 
     /// Look up `addr`; on a hit the block is *removed* (the caller
     /// promotes it back into the main array, the classic swap).
-    pub fn take(&mut self, addr: u32) -> Option<VictimBlock<V>> {
+    pub fn take(&mut self, addr: A) -> Option<VictimBlock<V, A>> {
         let pos = self.slots.iter().position(|s| s.block.addr == addr)?;
         Some(self.slots.swap_remove(pos).block)
     }
 
     /// Non-destructive lookup (used by probes that only need the value).
-    pub fn peek(&mut self, addr: u32) -> Option<VictimBlock<V>> {
+    pub fn peek(&mut self, addr: A) -> Option<VictimBlock<V, A>> {
         self.clock += 1;
         let clock = self.clock;
         let slot = self.slots.iter_mut().find(|s| s.block.addr == addr)?;
@@ -77,7 +78,11 @@ impl<V: Copy + Eq> VictimCache<V> {
 
     /// Insert a block evicted from the main array, evicting by policy if
     /// full. Returns the displaced block, if any.
-    pub fn insert(&mut self, block: VictimBlock<V>, rng: &mut SmallRng) -> Option<VictimBlock<V>> {
+    pub fn insert(
+        &mut self,
+        block: VictimBlock<V, A>,
+        rng: &mut SmallRng,
+    ) -> Option<VictimBlock<V, A>> {
         if self.capacity == 0 {
             return Some(block);
         }
@@ -117,6 +122,11 @@ impl<V: Copy + Eq> VictimCache<V> {
         Some(displaced)
     }
 
+    /// Iterate over every resident block's `(addr, value)` pair.
+    pub fn entries(&self) -> impl Iterator<Item = (A, V)> + '_ {
+        self.slots.iter().map(|s| (s.block.addr, s.block.value))
+    }
+
     /// Drop every block (routing-table update flush).
     pub fn flush(&mut self) {
         self.slots.clear();
@@ -125,7 +135,7 @@ impl<V: Copy + Eq> VictimCache<V> {
     /// Drop every block whose address satisfies `covered`, returning the
     /// number removed (prefix-targeted invalidation after a routing
     /// update).
-    pub fn invalidate_where(&mut self, covered: impl Fn(u32) -> bool) -> usize {
+    pub fn invalidate_where(&mut self, covered: impl Fn(A) -> bool) -> usize {
         let before = self.slots.len();
         self.slots.retain(|s| !covered(s.block.addr));
         before - self.slots.len()

@@ -1,0 +1,127 @@
+//! Edge cases of prefix-targeted invalidation
+//! ([`LrCache::invalidate_covered`]) across both address widths: the
+//! /0 default route, host routes (/32, /128), waiting-list (W-bit)
+//! entries, and victim-cache residents.
+
+use spal_cache::{
+    FillOutcome, LrCache, LrCache6, LrCacheConfig, Origin, ProbeResult, ReserveOutcome,
+};
+
+fn cfg(blocks: usize, victim: usize) -> LrCacheConfig {
+    LrCacheConfig {
+        blocks,
+        assoc: 4,
+        victim_blocks: victim,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn default_route_update_invalidates_everything_including_waiters() {
+    let mut c: LrCache<u16> = LrCache::new(cfg(64, 8));
+    for i in 0..32u32 {
+        c.fill(i.wrapping_mul(2654435761), i as u16, Origin::Loc);
+    }
+    c.reserve(0xDEAD_BEEF);
+    c.reserve(0x0000_0001);
+    let waiting_before = c.waiting_count();
+    assert_eq!(waiting_before, 2);
+    // A 0.0.0.0/0 update covers every address: main array, waiting
+    // entries and victim residents must all go.
+    let dropped = c.invalidate_covered(0, 0);
+    assert_eq!(dropped as u64, c.stats().invalidations);
+    assert_eq!(c.occupancy(), (0, 0));
+    assert_eq!(c.waiting_count(), 0);
+    assert_eq!(c.probe(0xDEAD_BEEF), ProbeResult::Miss);
+}
+
+#[test]
+fn host_route_invalidation_is_surgical() {
+    let mut c: LrCache<u16> = LrCache::new(cfg(64, 0));
+    // Two addresses in the same /31; a /32 must hit exactly one.
+    c.fill(0x0A00_0000, 1, Origin::Loc);
+    c.fill(0x0A00_0001, 2, Origin::Rem);
+    assert_eq!(c.invalidate_covered(0x0A00_0001, 32), 1);
+    assert!(matches!(
+        c.probe(0x0A00_0000),
+        ProbeResult::Hit { value: 1, .. }
+    ));
+    assert_eq!(c.probe(0x0A00_0001), ProbeResult::Miss);
+}
+
+#[test]
+fn waiting_entry_under_prefix_is_dropped_and_refill_demotes_to_insert() {
+    let mut c: LrCache<u16> = LrCache::new(cfg(16, 0));
+    assert_eq!(c.reserve(0x0A01_0203), ReserveOutcome::Reserved);
+    assert_eq!(c.reserve(0xC0A8_0001), ReserveOutcome::Reserved);
+    // Only the 10/8 waiter goes; the other keeps its waiting list.
+    assert_eq!(c.invalidate_covered(0x0A00_0000, 8), 1);
+    assert_eq!(c.probe(0x0A01_0203), ProbeResult::Miss);
+    assert_eq!(c.probe(0xC0A8_0001), ProbeResult::HitWaiting);
+    // The in-flight reply for the dropped waiter inserts fresh instead
+    // of completing a waiting list that no longer exists.
+    assert_eq!(c.fill(0x0A01_0203, 7, Origin::Rem), FillOutcome::Inserted);
+    assert_eq!(
+        c.fill(0xC0A8_0001, 9, Origin::Rem),
+        FillOutcome::CompletedWaiting
+    );
+}
+
+#[test]
+fn victim_resident_under_prefix_is_dropped() {
+    // Single-set cache: overflowing it pushes the oldest entry into the
+    // victim cache, where the invalidation must still find it.
+    let mut c: LrCache<u16> = LrCache::new(cfg(4, 8));
+    for i in 0..5u32 {
+        c.fill(0x0A00_0000 + i * 4, i as u16, Origin::Loc);
+    }
+    // addr 0x0A00_0000 now lives only in the victim cache.
+    assert_eq!(c.invalidate_covered(0x0A00_0000, 30), 1);
+    assert_eq!(c.probe(0x0A00_0000), ProbeResult::Miss);
+    // The other residents (main array) survive.
+    assert!(matches!(c.probe(0x0A00_0008), ProbeResult::Hit { .. }));
+}
+
+#[test]
+fn v6_targeted_invalidation_covers_main_waiting_and_victim() {
+    let doc = |low: u128| 0x2001_0db8_0000_0000_0000_0000_0000_0000u128 | low;
+    let other: u128 = 0xfd00_0000_0000_0000_0000_0000_0000_0001;
+    // Single set + victim so one 2001:db8 entry is a victim resident.
+    let mut c: LrCache6<u16> = LrCache::new(cfg(4, 8));
+    for i in 0..5u128 {
+        c.fill(doc(i * 4), i as u16, Origin::Loc);
+    }
+    c.fill(other, 99, Origin::Rem);
+    c.reserve(doc(0xFFFF));
+    // /32 over 2001:db8::/32 drops the four surviving main-array
+    // entries, the victim resident, and the waiter — not the fd00 one.
+    let dropped = c.invalidate_covered(doc(0), 32);
+    assert_eq!(dropped, 6);
+    for i in 0..5u128 {
+        assert_eq!(c.probe(doc(i * 4)), ProbeResult::Miss);
+    }
+    assert_eq!(c.probe(doc(0xFFFF)), ProbeResult::Miss);
+    assert!(matches!(c.probe(other), ProbeResult::Hit { value: 99, .. }));
+}
+
+#[test]
+fn v6_host_route_and_default_route_edges() {
+    let a: u128 = 0x2001_0db8_0000_0000_0000_0000_0000_0001;
+    let mut c: LrCache6<u16> = LrCache::new(cfg(64, 0));
+    c.fill(a, 1, Origin::Loc);
+    c.fill(a ^ 1, 2, Origin::Loc);
+    // /128 host route: exactly one entry.
+    assert_eq!(c.invalidate_covered(a, 128), 1);
+    assert_eq!(c.probe(a), ProbeResult::Miss);
+    assert!(matches!(c.probe(a ^ 1), ProbeResult::Hit { value: 2, .. }));
+    // ::/0 wipes the rest.
+    assert_eq!(c.invalidate_covered(0, 0), 1);
+    assert_eq!(c.occupancy(), (0, 0));
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn v4_prefix_longer_than_width_rejected() {
+    let mut c: LrCache<u16> = LrCache::new(cfg(16, 0));
+    c.invalidate_covered(0, 33);
+}

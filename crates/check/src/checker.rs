@@ -1,0 +1,265 @@
+//! The user-facing checker: configure a strategy, hand it a harness
+//! closure, and explore schedules until the space (or the budget) is
+//! exhausted or an invariant breaks.
+//!
+//! ```ignore
+//! let report = Checker::exhaustive()
+//!     .preemption_bound(Some(2))
+//!     .max_schedules(20_000)
+//!     .check(|| {
+//!         // spawn spal_check::thread threads, use spal_check::sync types,
+//!         // assert invariants — re-run once per schedule.
+//!     });
+//! report.assert_ok();
+//! assert!(report.distinct_interleavings > 1_000);
+//! ```
+//!
+//! On failure the report carries a replay token (`dfs:<choices>` or
+//! `seed:<n>`); `Checker::replay(token)` re-runs exactly that schedule,
+//! which is how a CI failure is debugged locally.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Once};
+
+use crate::exec::{self, Exec, ExecAbort};
+use crate::strategy::{DfsStrategy, RandomStrategy, ReplayStrategy, Strategy};
+
+#[derive(Clone, Debug)]
+enum Mode {
+    Exhaustive {
+        preemption_bound: Option<u32>,
+        max_schedules: u64,
+    },
+    Random {
+        seed: u64,
+        runs: u64,
+    },
+    Replay {
+        token: String,
+    },
+}
+
+/// Builder for a model-checking run. See the module docs for usage.
+#[derive(Clone, Debug)]
+pub struct Checker {
+    mode: Mode,
+    bugs: HashSet<String>,
+    max_steps: u64,
+}
+
+/// First invariant violation found, with the schedule that produced it.
+#[derive(Clone, Debug)]
+pub struct CheckFailure {
+    /// Panic/assertion/race message from the failing schedule.
+    pub message: String,
+    /// Replay token: pass to [`Checker::replay`] to re-run the schedule.
+    pub token: String,
+}
+
+/// Outcome of [`Checker::check`].
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Schedules executed (including the failing one, if any).
+    pub schedules: u64,
+    /// Distinct schedules among them, by choice-sequence fingerprint.
+    /// Equals `schedules` for exhaustive search; random walks may repeat.
+    pub distinct_interleavings: u64,
+    /// First failure, or `None` if every explored schedule was clean.
+    pub failure: Option<CheckFailure>,
+}
+
+impl CheckReport {
+    /// Panic with the failure message and replay instructions if any
+    /// explored schedule violated an invariant.
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "model checking failed after {} schedules: {}\n  replay with \
+                 Checker::replay(\"{}\")",
+                self.schedules, f.message, f.token
+            );
+        }
+    }
+}
+
+/// Budget ceiling from the `SPAL_CHECK_SCHEDULES` environment variable
+/// (unset, `0` or junk → no ceiling). CI sets it so exploration time is
+/// bounded regardless of what individual tests ask for; the suites
+/// assert a coverage floor against the *distinct* count, so a ceiling
+/// that cuts too deep fails loudly instead of silently passing.
+fn env_schedule_ceiling() -> Option<u64> {
+    std::env::var("SPAL_CHECK_SCHEDULES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+}
+
+impl Checker {
+    /// Bounded exhaustive search (DFS over schedules, preemption bound 2,
+    /// schedule budget 50k by default). `SPAL_CHECK_SCHEDULES` caps the
+    /// budget from the environment.
+    pub fn exhaustive() -> Checker {
+        Checker {
+            mode: Mode::Exhaustive {
+                preemption_bound: Some(2),
+                max_schedules: 50_000,
+            },
+            bugs: HashSet::new(),
+            max_steps: 100_000,
+        }
+    }
+
+    /// Seeded random walk: `runs` schedules, every choice uniform over
+    /// the enabled threads. Failures replay from the per-run seed.
+    pub fn random(seed: u64, runs: u64) -> Checker {
+        Checker {
+            mode: Mode::Random { seed, runs },
+            bugs: HashSet::new(),
+            max_steps: 100_000,
+        }
+    }
+
+    /// Replay a single schedule from a failure token (`dfs:…` or
+    /// `seed:…`).
+    pub fn replay(token: &str) -> Checker {
+        Checker {
+            mode: Mode::Replay {
+                token: token.to_string(),
+            },
+            bugs: HashSet::new(),
+            max_steps: 100_000,
+        }
+    }
+
+    /// Preemption bound for exhaustive search (`None` = unbounded).
+    /// No effect on random/replay modes.
+    pub fn preemption_bound(mut self, bound: Option<u32>) -> Checker {
+        if let Mode::Exhaustive {
+            preemption_bound, ..
+        } = &mut self.mode
+        {
+            *preemption_bound = bound;
+        }
+        self
+    }
+
+    /// Schedule budget for exhaustive search; exploration stops cleanly
+    /// when it is reached. No effect on random/replay modes.
+    pub fn max_schedules(mut self, n: u64) -> Checker {
+        if let Mode::Exhaustive { max_schedules, .. } = &mut self.mode {
+            *max_schedules = n;
+        }
+        self
+    }
+
+    /// Yield-point budget per schedule (livelock guard).
+    pub fn max_steps(mut self, n: u64) -> Checker {
+        self.max_steps = n;
+        self
+    }
+
+    /// Enable a seeded bug by name (see [`crate::bug_enabled`]): the
+    /// shimmed code under test weakens itself, and the harness asserts
+    /// the checker notices.
+    pub fn bug(mut self, name: &str) -> Checker {
+        self.bugs.insert(name.to_string());
+        self
+    }
+
+    fn build_strategy(&self) -> Box<dyn Strategy> {
+        match &self.mode {
+            Mode::Exhaustive {
+                preemption_bound, ..
+            } => Box::new(DfsStrategy::new(*preemption_bound)),
+            Mode::Random { seed, runs } => Box::new(RandomStrategy::new(*seed, *runs)),
+            Mode::Replay { token } => {
+                if let Some(seed) = token.strip_prefix("seed:") {
+                    let seed = seed
+                        .parse::<u64>()
+                        .unwrap_or_else(|_| panic!("bad replay token {token:?}"));
+                    Box::new(RandomStrategy::new(seed, 1))
+                } else if let Some(list) = token.strip_prefix("dfs:") {
+                    let choices = list
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| {
+                            s.parse::<usize>()
+                                .unwrap_or_else(|_| panic!("bad replay token {token:?}"))
+                        })
+                        .collect();
+                    Box::new(ReplayStrategy::from_choices(choices))
+                } else {
+                    panic!("bad replay token {token:?}: expected dfs:… or seed:…")
+                }
+            }
+        }
+    }
+
+    /// Run `f` once per schedule until the space or budget is exhausted
+    /// or an invariant breaks. `f` must be re-runnable: allocate all
+    /// shared state inside it.
+    pub fn check(self, f: impl Fn() + Send + Sync + 'static) -> CheckReport {
+        install_panic_filter();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let bugs = Arc::new(self.bugs.clone());
+        let mut strategy = self.build_strategy();
+        let ceiling = env_schedule_ceiling();
+        let mut fingerprints = HashSet::new();
+        let mut schedules = 0u64;
+        let mut failure = None;
+        loop {
+            strategy.begin_run();
+            let exec = Exec::new(strategy, self.max_steps, Arc::clone(&bugs));
+            exec.start_root(Arc::clone(&f));
+            exec.join_all();
+            let (s, fail) = exec.finish();
+            strategy = s;
+            schedules += 1;
+            fingerprints.insert(strategy.fingerprint());
+            if let Some(fl) = fail {
+                failure = Some(CheckFailure {
+                    message: fl.message,
+                    token: fl.token,
+                });
+                break;
+            }
+            if let Mode::Exhaustive { max_schedules, .. } = &self.mode {
+                if schedules >= *max_schedules {
+                    break;
+                }
+            }
+            if ceiling.is_some_and(|cap| schedules >= cap) {
+                break;
+            }
+            if !strategy.advance() {
+                break;
+            }
+        }
+        CheckReport {
+            schedules,
+            distinct_interleavings: fingerprints.len() as u64,
+            failure,
+        }
+    }
+}
+
+/// Install (once, process-wide) a panic hook that silences the two
+/// expected panic flavors inside checker runs — [`ExecAbort`] unwinds
+/// and harness assertion failures on losing schedules, both of which
+/// the checker records and reports itself — while delegating everything
+/// else to the pre-existing hook.
+fn install_panic_filter() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ExecAbort>().is_some() {
+                return;
+            }
+            if exec::current().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}

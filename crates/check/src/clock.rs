@@ -1,0 +1,91 @@
+//! Vector clocks — the happens-before bookkeeping behind the checker's
+//! data-race detector.
+//!
+//! Every model thread owns a [`VClock`]; component `t` is the number of
+//! scheduling steps thread `t` had completed the last time its knowledge
+//! reached this clock. An access `a` happens-before an access `b` iff
+//! the clock recorded at `a` is dominated by the acting thread's clock
+//! at `b`. Release stores publish the storing thread's clock into the
+//! location; acquire loads join it back — exactly the C11 edges the real
+//! primitives rely on, evaluated over the sequentially-consistent
+//! interleavings the scheduler enumerates.
+
+/// A vector clock over the model threads of one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// Component for thread `t` (0 if never touched).
+    #[inline]
+    pub fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Set component `t` to `v` (grows the vector as needed).
+    #[inline]
+    pub fn set(&mut self, t: usize, v: u32) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    /// Advance this thread's own component by one step.
+    #[inline]
+    pub fn bump(&mut self, t: usize) {
+        self.set(t, self.get(t) + 1);
+    }
+
+    /// Pointwise maximum: afterwards `self` knows everything `other` did.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, &o) in self.0.iter_mut().zip(other.0.iter()) {
+            *s = (*s).max(o);
+        }
+    }
+
+    /// Whether every component of `self` is ≤ the matching component of
+    /// `other` — i.e. all events recorded here happen-before `other`.
+    pub fn dominated_by(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(t, &v)| v <= other.get(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_domination() {
+        let mut a = VClock::new();
+        a.set(0, 3);
+        a.set(2, 1);
+        let mut b = VClock::new();
+        b.set(0, 2);
+        b.set(1, 5);
+        assert!(!a.dominated_by(&b));
+        b.join(&a);
+        assert!(a.dominated_by(&b));
+        assert_eq!(b.get(0), 3);
+        assert_eq!(b.get(1), 5);
+        assert_eq!(b.get(2), 1);
+    }
+
+    #[test]
+    fn bump_advances_own_component() {
+        let mut c = VClock::new();
+        c.bump(1);
+        c.bump(1);
+        assert_eq!(c.get(1), 2);
+        assert_eq!(c.get(0), 0);
+        assert!(VClock::new().dominated_by(&c));
+        assert!(!c.dominated_by(&VClock::new()));
+    }
+}

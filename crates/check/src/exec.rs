@@ -1,0 +1,448 @@
+//! The execution engine behind the checker: one *execution* = one run of
+//! the harness closure under one schedule.
+//!
+//! Model threads are real OS threads, but a Mutex/Condvar token ensures
+//! exactly one executes at any instant. Every instrumented operation
+//! (shim atomics, `checkpoint`, spawn, spin) first calls
+//! [`Exec::yield_point`], where the active [`Strategy`] picks which
+//! thread runs next. Re-executing the closure once per schedule with a
+//! different strategy state enumerates interleavings (the CHESS
+//! stateless-model-checking approach).
+//!
+//! The engine also maintains the happens-before relation: each thread
+//! owns a [`VClock`]; release stores publish the storing thread's clock
+//! into the atomic, acquire loads join it back, and [`CheckCell`]
+//! accesses are checked against those clocks — an access racing with a
+//! prior one that is not ordered before it is reported as a data race.
+//! Because the race check is clock-based, a missing `Release`/`Acquire`
+//! edge is caught even though each explored schedule is sequentially
+//! consistent.
+//!
+//! [`CheckCell`]: crate::sync::CheckCell
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::clock::VClock;
+use crate::strategy::{Strategy, Tid};
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (failure found, or exploration cut short). Never reported as a panic.
+pub(crate) struct ExecAbort;
+
+/// How a thread yields at a schedule point.
+pub(crate) enum Park {
+    /// Plain yield: the thread stays runnable.
+    None,
+    /// Spin parking: the thread is not runnable again until at least one
+    /// other scheduling decision has happened — this is what bounds
+    /// busy-wait loops (epoch grace-period spins) so exhaustive search
+    /// terminates: a spinning thread cannot be rescheduled until the
+    /// thread it waits on had a chance to make progress.
+    #[cfg_attr(not(spal_check), allow(dead_code))] // built by the instrumented shim only
+    Spin,
+    /// Blocked until the target thread finishes.
+    Join(Tid),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    SpinParked { since: u64 },
+    JoinParked { target: Tid },
+    Finished,
+}
+
+#[derive(Debug)]
+pub(crate) struct Failure {
+    pub message: String,
+    pub token: String,
+}
+
+#[derive(Default)]
+struct CellMeta {
+    writes: VClock,
+    reads: VClock,
+}
+
+struct ExecState {
+    strategy: Option<Box<dyn Strategy>>,
+    threads: Vec<Status>,
+    clocks: Vec<VClock>,
+    active: Tid,
+    /// Number of scheduling decisions taken so far.
+    sched_count: u64,
+    /// Yield points visited (run-length guard against livelock).
+    steps: u64,
+    max_steps: u64,
+    failure: Option<Failure>,
+    aborting: bool,
+    /// Per-atomic release clock, keyed by the atomic's address.
+    atomics: HashMap<usize, VClock>,
+    /// Per-cell access clocks for race detection, keyed by address.
+    cells: HashMap<usize, CellMeta>,
+    bugs: Arc<HashSet<String>>,
+}
+
+pub(crate) struct Exec {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Exec>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// The execution this OS thread belongs to, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Exec>, Tid)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(v: Option<(Arc<Exec>, Tid)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+#[cfg_attr(not(spal_check), allow(dead_code))]
+fn acquires(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+#[cfg_attr(not(spal_check), allow(dead_code))]
+fn releases(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn panic_message(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn enabled(st: &ExecState) -> Vec<Tid> {
+    let mut out = Vec::new();
+    for t in 0..st.threads.len() {
+        let ok = match st.threads[t] {
+            Status::Runnable => true,
+            Status::SpinParked { since } => since < st.sched_count,
+            Status::JoinParked { target } => matches!(st.threads[target], Status::Finished),
+            Status::Finished => false,
+        };
+        if ok {
+            out.push(t);
+        }
+    }
+    out
+}
+
+impl Exec {
+    pub(crate) fn new(
+        strategy: Box<dyn Strategy>,
+        max_steps: u64,
+        bugs: Arc<HashSet<String>>,
+    ) -> Arc<Exec> {
+        Arc::new(Exec {
+            state: Mutex::new(ExecState {
+                strategy: Some(strategy),
+                threads: Vec::new(),
+                clocks: Vec::new(),
+                active: 0,
+                sched_count: 0,
+                steps: 0,
+                max_steps,
+                failure: None,
+                aborting: false,
+                atomics: HashMap::new(),
+                cells: HashMap::new(),
+                bugs,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Register a model thread; `parent` is `None` only for the root.
+    /// The child inherits the parent's clock (the spawn edge).
+    pub(crate) fn register_thread(&self, parent: Option<Tid>) -> Tid {
+        let mut st = self.state.lock().unwrap();
+        let tid = st.threads.len();
+        st.threads.push(Status::Runnable);
+        let mut clock = match parent {
+            Some(p) => st.clocks[p].clone(),
+            None => VClock::new(),
+        };
+        clock.bump(tid);
+        st.clocks.push(clock);
+        if parent.is_none() {
+            st.active = tid;
+        }
+        tid
+    }
+
+    pub(crate) fn add_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles.lock().unwrap().push(h);
+    }
+
+    /// Block a freshly spawned OS thread until the scheduler first picks
+    /// it. Returns `false` if the execution aborted before that.
+    pub(crate) fn wait_first(&self, me: Tid) -> bool {
+        let mut st = self.state.lock().unwrap();
+        while st.active != me && !st.aborting {
+            st = self.cv.wait(st).unwrap();
+        }
+        !st.aborting
+    }
+
+    /// Record a failure (first one wins), wake everyone, start aborting.
+    fn fail(&self, st: &mut ExecState, message: String) {
+        if st.failure.is_none() {
+            let token = st.strategy.as_ref().map(|s| s.token()).unwrap_or_default();
+            st.failure = Some(Failure { message, token });
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// The heart of the engine: a schedule point. Parks the caller per
+    /// `park`, lets the strategy choose the next thread, and blocks the
+    /// caller until it is scheduled again.
+    pub(crate) fn yield_point(&self, me: Tid, park: Park) {
+        let mut st = self.state.lock().unwrap();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(ExecAbort);
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let msg = format!(
+                "run exceeded {} scheduler steps — livelock or runaway loop",
+                st.max_steps
+            );
+            self.fail(&mut st, msg);
+            drop(st);
+            std::panic::panic_any(ExecAbort);
+        }
+        match park {
+            Park::None => st.threads[me] = Status::Runnable,
+            Park::Spin => {
+                st.threads[me] = Status::SpinParked {
+                    since: st.sched_count,
+                }
+            }
+            Park::Join(t) => {
+                if !matches!(st.threads[t], Status::Finished) {
+                    st.threads[me] = Status::JoinParked { target: t };
+                }
+            }
+        }
+        let en = enabled(&st);
+        if en.is_empty() {
+            self.fail(&mut st, "deadlock: no runnable model thread".to_string());
+            drop(st);
+            std::panic::panic_any(ExecAbort);
+        }
+        let cur_enabled = en.contains(&me);
+        let next = st
+            .strategy
+            .as_mut()
+            .expect("strategy present during run")
+            .choose(&en, me, cur_enabled);
+        st.sched_count += 1;
+        st.threads[next] = Status::Runnable;
+        st.active = next;
+        if next != me {
+            self.cv.notify_all();
+            while st.active != me && !st.aborting {
+                st = self.cv.wait(st).unwrap();
+            }
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(ExecAbort);
+            }
+        }
+    }
+
+    /// Called by the model-thread wrapper when the closure returns or
+    /// unwinds. Hands the token to the next enabled thread, if any.
+    pub(crate) fn thread_exit(&self, me: Tid, payload: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().unwrap();
+        st.threads[me] = Status::Finished;
+        if let Some(p) = payload {
+            if p.downcast_ref::<ExecAbort>().is_none() {
+                // `&*p` reaches the payload inside the box; a plain `&p`
+                // would unsize the Box itself into the trait object and
+                // every downcast would miss.
+                let msg = panic_message(&*p);
+                self.fail(&mut st, format!("thread {me} panicked: {msg}"));
+            }
+        }
+        if st.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        let en = enabled(&st);
+        if en.is_empty() {
+            if st.threads.iter().any(|t| !matches!(t, Status::Finished)) {
+                self.fail(
+                    &mut st,
+                    "deadlock: all remaining threads are blocked".to_string(),
+                );
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let next = st
+            .strategy
+            .as_mut()
+            .expect("strategy present during run")
+            .choose(&en, me, false);
+        st.sched_count += 1;
+        st.threads[next] = Status::Runnable;
+        st.active = next;
+        self.cv.notify_all();
+    }
+
+    /// Join edge: the joiner inherits everything the joined thread did.
+    pub(crate) fn join_clock(&self, me: Tid, target: Tid) {
+        let mut st = self.state.lock().unwrap();
+        let t = st.clocks[target].clone();
+        st.clocks[me].join(&t);
+    }
+
+    #[cfg_attr(not(spal_check), allow(dead_code))]
+    pub(crate) fn bug_enabled(&self, name: &str) -> bool {
+        self.state.lock().unwrap().bugs.contains(name)
+    }
+
+    // -- happens-before bookkeeping (called after the real operation,
+    //    while the caller still holds the scheduling token) -------------
+
+    #[cfg_attr(not(spal_check), allow(dead_code))]
+    pub(crate) fn atomic_load(&self, me: Tid, addr: usize, ord: Ordering) {
+        let mut st = self.state.lock().unwrap();
+        st.clocks[me].bump(me);
+        if acquires(ord) {
+            if let Some(sync) = st.atomics.get(&addr) {
+                let sync = sync.clone();
+                st.clocks[me].join(&sync);
+            }
+        }
+    }
+
+    #[cfg_attr(not(spal_check), allow(dead_code))]
+    pub(crate) fn atomic_store(&self, me: Tid, addr: usize, ord: Ordering) {
+        let mut st = self.state.lock().unwrap();
+        st.clocks[me].bump(me);
+        let clock = st.clocks[me].clone();
+        let entry = st.atomics.entry(addr).or_default();
+        if releases(ord) {
+            *entry = clock;
+        } else {
+            // A relaxed store does not release: later acquire loads of
+            // this value learn nothing. Erasing the clock is what lets
+            // the cell-race detector catch a dropped Release fence.
+            *entry = VClock::new();
+        }
+    }
+
+    #[cfg_attr(not(spal_check), allow(dead_code))]
+    pub(crate) fn atomic_rmw(&self, me: Tid, addr: usize, ord: Ordering) {
+        let mut st = self.state.lock().unwrap();
+        st.clocks[me].bump(me);
+        if acquires(ord) {
+            if let Some(sync) = st.atomics.get(&addr) {
+                let sync = sync.clone();
+                st.clocks[me].join(&sync);
+            }
+        }
+        if releases(ord) {
+            let clock = st.clocks[me].clone();
+            st.atomics.entry(addr).or_default().join(&clock);
+        }
+        // A relaxed RMW neither acquires nor releases but does preserve
+        // the release sequence, so the stored clock is left untouched.
+    }
+
+    /// Race-check a plain-memory (CheckCell) access.
+    #[cfg_attr(not(spal_check), allow(dead_code))]
+    pub(crate) fn cell_access(&self, me: Tid, addr: usize, is_write: bool) {
+        let mut st = self.state.lock().unwrap();
+        let ExecState { clocks, cells, .. } = &mut *st;
+        let clock = &clocks[me];
+        let meta = cells.entry(addr).or_default();
+        let racy = if is_write {
+            !meta.writes.dominated_by(clock) || !meta.reads.dominated_by(clock)
+        } else {
+            !meta.writes.dominated_by(clock)
+        };
+        if racy {
+            let kind = if is_write { "write" } else { "read" };
+            let msg = format!(
+                "data race: {kind} of unsynchronized memory not ordered after a \
+                 prior conflicting access (missing release/acquire edge?)"
+            );
+            self.fail(&mut st, msg);
+            drop(st);
+            std::panic::panic_any(ExecAbort);
+        }
+        let own = clock.get(me);
+        if is_write {
+            meta.writes.set(me, own);
+        } else {
+            meta.reads.set(me, own);
+        }
+    }
+
+    // -- run orchestration (called from the checker thread) -------------
+
+    /// Spawn the root model thread running `f`.
+    pub(crate) fn start_root(self: &Arc<Self>, f: Arc<dyn Fn() + Send + Sync>) {
+        let tid = self.register_thread(None);
+        let exec = Arc::clone(self);
+        let h = std::thread::Builder::new()
+            .name(format!("model-{tid}"))
+            .spawn(move || {
+                set_current(Some((Arc::clone(&exec), tid)));
+                let payload = if exec.wait_first(tid) {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f())).err()
+                } else {
+                    None
+                };
+                exec.thread_exit(tid, payload);
+            })
+            .expect("spawn root model thread");
+        self.add_handle(h);
+    }
+
+    /// Wait for every OS thread of this execution to exit. Joined in
+    /// waves because model threads may spawn further threads (their
+    /// handles are always registered before the spawning thread exits).
+    pub(crate) fn join_all(&self) {
+        loop {
+            let wave: Vec<_> = std::mem::take(&mut *self.handles.lock().unwrap());
+            if wave.is_empty() {
+                break;
+            }
+            for h in wave {
+                // Wrapper threads catch everything; nothing to propagate.
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Tear down after `join_all`: hand the strategy back along with the
+    /// run's failure, if any.
+    pub(crate) fn finish(&self) -> (Box<dyn Strategy>, Option<Failure>) {
+        let mut st = self.state.lock().unwrap();
+        let strategy = st.strategy.take().expect("finish called once");
+        let failure = st.failure.take();
+        (strategy, failure)
+    }
+}

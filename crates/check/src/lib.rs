@@ -1,0 +1,71 @@
+//! spal-check: a loom-lite deterministic concurrency model checker for
+//! the SPAL dataplane.
+//!
+//! The crate has two faces:
+//!
+//! * **Shim** ([`sync`], [`thread`]) — drop-in `Atomic*`, `CheckCell`,
+//!   spin/yield hooks, and spawn/join that production crates
+//!   (`spal-fabric`, `spal-dataplane`) build on. In normal builds they
+//!   compile to the `std` primitives with zero overhead.
+//! * **Checker** ([`Checker`]) — under `RUSTFLAGS="--cfg spal_check"`
+//!   the shim becomes instrumented: every operation is a schedule point
+//!   driven by a deterministic scheduler that re-executes a harness
+//!   closure under bounded-exhaustive or seeded-random schedules,
+//!   tracks happens-before with vector clocks, race-checks plain-memory
+//!   accesses, and replays any failing schedule from a printed token.
+//!
+//! [`checkpoint`] (always active inside a checker run, even without the
+//! cfg) lets harnesses add explicit schedule points, and
+//! [`interleave::for_each_interleaving`] exhaustively interleaves two
+//! plain-state step sequences for components not built on the shim.
+
+pub mod checker;
+pub mod clock;
+mod exec;
+pub mod interleave;
+mod strategy;
+pub mod sync;
+pub mod thread;
+
+pub use checker::{CheckFailure, CheckReport, Checker};
+
+/// Explicit schedule point. Inside a checker run the scheduler may
+/// switch threads here; outside one (or in an uninstrumented build with
+/// no active run) it is a no-op. Unlike the shim atomics this works
+/// even without `--cfg spal_check`, so logic-level harnesses can be
+/// model-checked from the ordinary test suite.
+pub fn checkpoint() {
+    if let Some((e, me)) = exec::current() {
+        e.yield_point(me, exec::Park::None);
+    }
+}
+
+/// Whether a named seeded bug is enabled for the current checker run.
+///
+/// Production code guards deliberate weakenings with this so tests can
+/// prove the checker would catch the corresponding real mistake, e.g.:
+///
+/// ```ignore
+/// let ord = if spal_check::bug_enabled("spsc-head-store-relaxed") {
+///     Ordering::Relaxed // drop the release fence — the checker must object
+/// } else {
+///     Ordering::Release
+/// };
+/// ```
+///
+/// Without `--cfg spal_check` this is a const `false` and the guarded
+/// branch compiles out entirely.
+#[cfg(spal_check)]
+pub fn bug_enabled(name: &str) -> bool {
+    match exec::current() {
+        Some((e, _)) => e.bug_enabled(name),
+        None => false,
+    }
+}
+
+/// See the `spal_check`-gated variant; always `false` in plain builds.
+#[cfg(not(spal_check))]
+#[inline(always)]
+pub fn bug_enabled(_name: &str) -> bool {
+    false
+}

@@ -1,0 +1,354 @@
+//! Schedule-choice strategies: how the scheduler decides which model
+//! thread runs at each step.
+//!
+//! * [`DfsStrategy`] — bounded exhaustive enumeration. The first run
+//!   always continues the current thread; between runs the deepest
+//!   not-yet-exhausted choice point advances to its next alternative
+//!   (iterative depth-first search over the schedule tree, re-executing
+//!   the program for every schedule — the CHESS approach). A preemption
+//!   bound caps how many times a run may switch away from a thread that
+//!   could have continued, which is what keeps the tree tractable; most
+//!   concurrency bugs need only 1–2 preemptions.
+//! * [`RandomStrategy`] — seeded random walk: every choice is uniform
+//!   over the enabled threads, each run re-seeded from `base_seed` and
+//!   the run index, so any failing schedule replays from its seed.
+//! * [`ReplayStrategy`] — replays one schedule from a failure token.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub(crate) type Tid = usize;
+
+/// FNV-1a step, used to fingerprint schedules for distinct counting.
+#[inline]
+fn fnv_step(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+pub(crate) trait Strategy: Send {
+    /// Called at schedule start.
+    fn begin_run(&mut self);
+    /// Choose among `enabled` (non-empty, ascending). `current` is the
+    /// yielding thread; `current_enabled` says whether staying put is an
+    /// option.
+    fn choose(&mut self, enabled: &[Tid], current: Tid, current_enabled: bool) -> Tid;
+    /// Move to the next schedule; `false` once the space is exhausted.
+    fn advance(&mut self) -> bool;
+    /// Replay token identifying the schedule chosen this run.
+    fn token(&self) -> String;
+    /// Fingerprint of this run's choices (distinct-schedule counting).
+    fn fingerprint(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------
+// Bounded exhaustive DFS
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Node {
+    /// Candidate threads at this choice point, preferred first.
+    options: Vec<Tid>,
+    /// Index of the option taken on the current run.
+    idx: usize,
+}
+
+pub(crate) struct DfsStrategy {
+    trail: Vec<Node>,
+    cursor: usize,
+    preemption_bound: Option<u32>,
+    preemptions_used: u32,
+    choices: Vec<Tid>,
+    fp: u64,
+}
+
+impl DfsStrategy {
+    pub(crate) fn new(preemption_bound: Option<u32>) -> Self {
+        DfsStrategy {
+            trail: Vec::new(),
+            cursor: 0,
+            preemption_bound,
+            preemptions_used: 0,
+            choices: Vec::new(),
+            fp: 0xCBF2_9CE4_8422_2325,
+        }
+    }
+}
+
+impl Strategy for DfsStrategy {
+    fn begin_run(&mut self) {
+        self.cursor = 0;
+        self.preemptions_used = 0;
+        self.choices.clear();
+        self.fp = 0xCBF2_9CE4_8422_2325;
+    }
+
+    fn choose(&mut self, enabled: &[Tid], current: Tid, current_enabled: bool) -> Tid {
+        if self.cursor == self.trail.len() {
+            // Fresh choice point: prefer continuing the current thread;
+            // alternatives are preemptions and only recorded while the
+            // budget allows exploring them.
+            let out_of_budget = current_enabled
+                && self
+                    .preemption_bound
+                    .is_some_and(|b| self.preemptions_used >= b);
+            let options: Vec<Tid> = if out_of_budget {
+                vec![current]
+            } else if current_enabled {
+                std::iter::once(current)
+                    .chain(enabled.iter().copied().filter(|&t| t != current))
+                    .collect()
+            } else {
+                enabled.to_vec()
+            };
+            self.trail.push(Node { options, idx: 0 });
+        }
+        let node = &self.trail[self.cursor];
+        debug_assert!(
+            node.options.iter().all(|t| enabled.contains(t)),
+            "nondeterministic harness: replayed options {:?} not enabled in {:?}",
+            node.options,
+            enabled
+        );
+        let chosen = node.options[node.idx];
+        if current_enabled && chosen != current {
+            self.preemptions_used += 1;
+        }
+        self.cursor += 1;
+        self.choices.push(chosen);
+        self.fp = fnv_step(self.fp, chosen as u64);
+        chosen
+    }
+
+    fn advance(&mut self) -> bool {
+        // Anything beyond the run's last choice point is stale state from
+        // a deeper previous run.
+        self.trail.truncate(self.cursor);
+        while let Some(last) = self.trail.last_mut() {
+            if last.idx + 1 < last.options.len() {
+                last.idx += 1;
+                return true;
+            }
+            self.trail.pop();
+        }
+        false
+    }
+
+    fn token(&self) -> String {
+        let reprs: Vec<String> = self.choices.iter().map(|t| t.to_string()).collect();
+        format!("dfs:{}", reprs.join(","))
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded random walk
+// ---------------------------------------------------------------------
+
+pub(crate) struct RandomStrategy {
+    base_seed: u64,
+    run: u64,
+    max_runs: u64,
+    rng: SmallRng,
+    fp: u64,
+}
+
+impl RandomStrategy {
+    pub(crate) fn new(base_seed: u64, max_runs: u64) -> Self {
+        RandomStrategy {
+            base_seed,
+            run: 0,
+            max_runs,
+            rng: SmallRng::seed_from_u64(Self::run_seed(base_seed, 0)),
+            fp: 0,
+        }
+    }
+
+    fn run_seed(base: u64, run: u64) -> u64 {
+        base ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The seed that reproduces the current run on its own.
+    pub(crate) fn current_seed(&self) -> u64 {
+        Self::run_seed(self.base_seed, self.run)
+    }
+}
+
+impl Strategy for RandomStrategy {
+    fn begin_run(&mut self) {
+        self.rng = SmallRng::seed_from_u64(self.current_seed());
+        self.fp = 0xCBF2_9CE4_8422_2325;
+    }
+
+    fn choose(&mut self, enabled: &[Tid], _current: Tid, _current_enabled: bool) -> Tid {
+        let chosen = enabled[self.rng.gen_range(0..enabled.len())];
+        self.fp = fnv_step(self.fp, chosen as u64);
+        chosen
+    }
+
+    fn advance(&mut self) -> bool {
+        self.run += 1;
+        self.run < self.max_runs
+    }
+
+    fn token(&self) -> String {
+        format!("seed:{}", self.current_seed())
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------
+
+pub(crate) struct ReplayStrategy {
+    choices: Vec<Tid>,
+    cursor: usize,
+    fp: u64,
+}
+
+impl ReplayStrategy {
+    /// Parse a `dfs:…` token (a `seed:…` token replays through
+    /// [`RandomStrategy`] instead).
+    pub(crate) fn from_choices(choices: Vec<Tid>) -> Self {
+        ReplayStrategy {
+            choices,
+            cursor: 0,
+            fp: 0,
+        }
+    }
+}
+
+impl Strategy for ReplayStrategy {
+    fn begin_run(&mut self) {
+        self.cursor = 0;
+        self.fp = 0xCBF2_9CE4_8422_2325;
+    }
+
+    fn choose(&mut self, enabled: &[Tid], current: Tid, current_enabled: bool) -> Tid {
+        let chosen = match self.choices.get(self.cursor) {
+            Some(&t) if enabled.contains(&t) => t,
+            // Past the recorded schedule (or drifted): keep the current
+            // thread where possible so the tail stays deterministic.
+            _ => {
+                if current_enabled {
+                    current
+                } else {
+                    enabled[0]
+                }
+            }
+        };
+        self.cursor += 1;
+        self.fp = fnv_step(self.fp, chosen as u64);
+        chosen
+    }
+
+    fn advance(&mut self) -> bool {
+        false
+    }
+
+    fn token(&self) -> String {
+        let reprs: Vec<String> = self.choices.iter().map(|t| t.to_string()).collect();
+        format!("dfs:{}", reprs.join(","))
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulate a program with `steps` choice points, 2 threads always
+    /// enabled, and collect every schedule the DFS visits.
+    fn enumerate(bound: Option<u32>, steps: usize) -> Vec<Vec<Tid>> {
+        let mut s = DfsStrategy::new(bound);
+        let mut all = Vec::new();
+        loop {
+            s.begin_run();
+            let mut run = Vec::new();
+            let mut current = 0;
+            for _ in 0..steps {
+                let t = s.choose(&[0, 1], current, true);
+                run.push(t);
+                current = t;
+            }
+            all.push(run);
+            if !s.advance() {
+                return all;
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_dfs_enumerates_all_interleavings() {
+        let all = enumerate(None, 3);
+        assert_eq!(all.len(), 8); // 2^3 schedules
+        let distinct: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn zero_preemption_bound_runs_one_schedule() {
+        // Never allowed to leave thread 0 while it stays enabled.
+        let all = enumerate(Some(0), 4);
+        assert_eq!(all, vec![vec![0, 0, 0, 0]]);
+    }
+
+    #[test]
+    fn preemption_bound_counts_switches() {
+        let all = enumerate(Some(1), 3);
+        // Schedules with at most one switch away from the running thread.
+        for run in &all {
+            let mut cur = 0;
+            let switches = run
+                .iter()
+                .filter(|&&t| {
+                    let s = t != cur;
+                    cur = t;
+                    s
+                })
+                .count();
+            assert!(switches <= 2, "run {run:?}"); // 1 preemption + returns
+        }
+        let distinct: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), all.len(), "DFS repeated a schedule");
+    }
+
+    #[test]
+    fn random_strategy_replays_from_seed() {
+        let mut a = RandomStrategy::new(7, 10);
+        a.begin_run();
+        let run_a: Vec<Tid> = (0..20).map(|_| a.choose(&[0, 1, 2], 0, true)).collect();
+        let seed = a.current_seed();
+        let mut b = RandomStrategy::new(seed, 1);
+        b.begin_run();
+        let run_b: Vec<Tid> = (0..20).map(|_| b.choose(&[0, 1, 2], 0, true)).collect();
+        assert_eq!(run_a, run_b);
+    }
+
+    #[test]
+    fn distinct_fingerprints_for_distinct_schedules() {
+        let mut s = DfsStrategy::new(None);
+        let mut fps = std::collections::HashSet::new();
+        loop {
+            s.begin_run();
+            let mut current = 0;
+            for _ in 0..4 {
+                current = s.choose(&[0, 1], current, true);
+            }
+            fps.insert(s.fingerprint());
+            if !s.advance() {
+                break;
+            }
+        }
+        assert_eq!(fps.len(), 16);
+    }
+}

@@ -1,0 +1,100 @@
+//! Model-aware `thread::spawn`/`join`.
+//!
+//! Inside a [`Checker`](crate::Checker) run, `spawn` registers a model
+//! thread with the execution engine: the OS thread blocks until the
+//! scheduler first picks it, and `join` is a scheduler blocking point
+//! with a proper happens-before join edge. Outside a run, both delegate
+//! to `std::thread`.
+//!
+//! Because the scheduler runs exactly one model thread at a time, shared
+//! state guarded by an ordinary `std::sync::Mutex` is always uncontended
+//! inside a harness — collecting results through `Arc<Mutex<Vec<_>>>`
+//! is safe and adds no schedule points.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::exec::{self, Exec, Park};
+use crate::strategy::Tid;
+
+enum Inner<T> {
+    Native(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<Exec>,
+        tid: Tid,
+        result: Arc<Mutex<Option<T>>>,
+    },
+}
+
+/// Handle returned by [`spawn`]; joinable exactly once.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+/// Spawn a thread. Model-scheduled inside a checker run, a plain
+/// `std::thread::spawn` otherwise.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match exec::current() {
+        None => JoinHandle {
+            inner: Inner::Native(std::thread::spawn(f)),
+        },
+        Some((exec, me)) => {
+            let tid = exec.register_thread(Some(me));
+            let result = Arc::new(Mutex::new(None));
+            let slot = Arc::clone(&result);
+            let child_exec = Arc::clone(&exec);
+            let os = std::thread::Builder::new()
+                .name(format!("model-{tid}"))
+                .spawn(move || {
+                    exec::set_current(Some((Arc::clone(&child_exec), tid)));
+                    let payload = if child_exec.wait_first(tid) {
+                        match catch_unwind(AssertUnwindSafe(f)) {
+                            Ok(v) => {
+                                *slot.lock().unwrap() = Some(v);
+                                None
+                            }
+                            Err(p) => Some(p),
+                        }
+                    } else {
+                        None
+                    };
+                    child_exec.thread_exit(tid, payload);
+                })
+                .expect("spawn model thread");
+            exec.add_handle(os);
+            // Spawning is itself a schedule point: the child may run first.
+            exec.yield_point(me, Park::None);
+            JoinHandle {
+                inner: Inner::Model { exec, tid, result },
+            }
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and take its return value.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Native(h) => h.join(),
+            Inner::Model { exec, tid, result } => {
+                let (cur, me) =
+                    exec::current().expect("model JoinHandle joined outside its checker run");
+                debug_assert!(Arc::ptr_eq(&cur, &exec), "join across executions");
+                // Blocks until `tid` has finished (or the run aborts, in
+                // which case this unwinds with ExecAbort).
+                exec.yield_point(me, Park::Join(tid));
+                exec.join_clock(me, tid);
+                let v = result
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("joined model thread produced no value");
+                Ok(v)
+            }
+        }
+    }
+}

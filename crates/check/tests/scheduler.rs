@@ -1,0 +1,194 @@
+//! Self-tests for the schedule explorer that run in the ordinary test
+//! suite (no `--cfg spal_check` needed): harnesses mark their schedule
+//! points explicitly with `spal_check::checkpoint()`, shared state goes
+//! through `std::sync::Mutex` (always uncontended — the scheduler runs
+//! one model thread at a time).
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+use spal_check::{checkpoint, thread, Checker};
+
+/// One `(thread id, step)` log per schedule, collected across runs.
+type OrderSet = Arc<Mutex<HashSet<Vec<(u8, u8)>>>>;
+
+/// Two threads each log two steps with checkpoints in between; the
+/// exhaustive explorer must witness every one of the C(4,2) = 6 merge
+/// orders of their step sequences.
+#[test]
+fn exhaustive_explorer_visits_every_interleaving() {
+    let orders: OrderSet = Arc::new(Mutex::new(HashSet::new()));
+    let orders_in = Arc::clone(&orders);
+    let report = Checker::exhaustive().preemption_bound(None).check(move || {
+        let log: Arc<Mutex<Vec<(u8, u8)>>> = Arc::new(Mutex::new(Vec::new()));
+        let spawn_logger = |id: u8, log: Arc<Mutex<Vec<(u8, u8)>>>| {
+            thread::spawn(move || {
+                for step in 0..2u8 {
+                    checkpoint();
+                    log.lock().unwrap().push((id, step));
+                }
+            })
+        };
+        let a = spawn_logger(0, Arc::clone(&log));
+        let b = spawn_logger(1, Arc::clone(&log));
+        a.join().unwrap();
+        b.join().unwrap();
+        orders_in
+            .lock()
+            .unwrap()
+            .insert(log.lock().unwrap().clone());
+    });
+    report.assert_ok();
+    let orders = orders.lock().unwrap();
+    assert_eq!(
+        orders.len(),
+        6,
+        "expected all 6 merge orders, saw {orders:?}"
+    );
+    assert!(report.schedules >= 6);
+    assert_eq!(report.distinct_interleavings, report.schedules);
+}
+
+/// A classic lost update: read, schedule point, write-back. The checker
+/// must find the interleaving where both threads read the same value,
+/// and the failure must replay deterministically from its token.
+fn lost_update_harness() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let counter = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    checkpoint();
+                    let v = *counter.lock().unwrap();
+                    checkpoint(); // the other thread may read the same v here
+                    *counter.lock().unwrap() = v + 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock().unwrap(), 2, "lost update");
+    }
+}
+
+#[test]
+fn dfs_finds_lost_update_and_token_replays_it() {
+    let report = Checker::exhaustive().check(lost_update_harness());
+    let failure = report.failure.expect("DFS must find the lost update");
+    assert!(
+        failure.message.contains("lost update"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    assert!(
+        failure.token.starts_with("dfs:"),
+        "token: {}",
+        failure.token
+    );
+
+    // The token pins the exact schedule: replaying it fails identically.
+    let replay = Checker::replay(&failure.token).check(lost_update_harness());
+    assert_eq!(replay.schedules, 1);
+    let refailure = replay.failure.expect("replay must reproduce the failure");
+    assert_eq!(refailure.message, failure.message);
+}
+
+#[test]
+fn random_walk_finds_lost_update_and_seed_replays_it() {
+    let report = Checker::random(42, 500).check(lost_update_harness());
+    let failure = report
+        .failure
+        .expect("random walk must find the lost update");
+    assert!(
+        failure.token.starts_with("seed:"),
+        "token: {}",
+        failure.token
+    );
+    let replay = Checker::replay(&failure.token).check(lost_update_harness());
+    let refailure = replay.failure.expect("seed replay must reproduce");
+    assert_eq!(refailure.message, failure.message);
+}
+
+/// The same read-modify-write made atomic (hold the lock across the
+/// update, no schedule point inside the critical section) is clean.
+#[test]
+fn atomic_update_passes_exhaustively() {
+    let report = Checker::exhaustive().preemption_bound(None).check(|| {
+        let counter = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    checkpoint();
+                    *counter.lock().unwrap() += 1;
+                    checkpoint();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock().unwrap(), 2);
+    });
+    report.assert_ok();
+    assert!(
+        report.distinct_interleavings > 1,
+        "explorer only saw one schedule"
+    );
+}
+
+/// Preemption bounding prunes the space but keeps schedules distinct.
+#[test]
+fn preemption_bound_prunes_schedule_space() {
+    let count_with = |bound: Option<u32>| {
+        let report = Checker::exhaustive().preemption_bound(bound).check(|| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    thread::spawn(move || {
+                        for _ in 0..3 {
+                            checkpoint();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        report.assert_ok();
+        assert_eq!(report.distinct_interleavings, report.schedules);
+        report.schedules
+    };
+    let bounded = count_with(Some(1));
+    let unbounded = count_with(None);
+    assert!(
+        bounded < unbounded,
+        "bound 1 ({bounded}) should explore fewer schedules than unbounded ({unbounded})"
+    );
+}
+
+/// Schedule budgets stop exploration cleanly rather than erroring.
+#[test]
+fn schedule_budget_truncates_exploration() {
+    let report = Checker::exhaustive()
+        .preemption_bound(None)
+        .max_schedules(10)
+        .check(|| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    thread::spawn(move || {
+                        for _ in 0..3 {
+                            checkpoint();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    report.assert_ok();
+    assert_eq!(report.schedules, 10);
+}

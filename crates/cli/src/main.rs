@@ -76,8 +76,11 @@ commands:
              [--gamma G] [--batch N] [--preset NAME] [--packets N]
              [--churn UPDATES] [--publish-every N] [--withdraw-fraction F]
              [--pace-us US] [--invalidation targeted|flush]
-             [--deterministic] [--seed S] [--json]
-             run the threaded SPAL runtime with RCU table publication
+             [--deterministic] [--seed S] [--faults SEED] [--json]
+             run the threaded SPAL runtime with RCU table publication;
+             --faults injects seed-driven message drops/delays/dups and
+             worker stalls (implies --deterministic) and exits non-zero
+             on any oracle divergence
 
 presets: D_75 D_81 L_92-0 L_92-1 B_L"
     );
@@ -292,7 +295,7 @@ fn cmd_analyze_trace(args: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_dataplane(args: &Args) -> Result<(), ArgError> {
-    use spal_dataplane::{run, ChurnConfig, DataplaneConfig, InvalidationMode};
+    use spal_dataplane::{run, ChurnConfig, DataplaneConfig, FaultPlan, InvalidationMode};
 
     let table = load_table(args)?;
     let workers = args.get_or("workers", 4usize)?;
@@ -328,6 +331,14 @@ fn cmd_dataplane(args: &Args) -> Result<(), ArgError> {
         }
     };
     let name = parse_preset(args.get("preset").unwrap_or("D_75"))?;
+    let faults = args
+        .get("faults")
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| ArgError(format!("--faults expects a seed, got {s:?}")))
+        })
+        .transpose()?
+        .map(FaultPlan::standard);
 
     let traces: Vec<Trace> = preset(name)
         .generate(&table, packets * workers, seed)
@@ -343,8 +354,11 @@ fn cmd_dataplane(args: &Args) -> Result<(), ArgError> {
         batch: args.get_or("batch", 32usize)?,
         churn,
         invalidation,
-        deterministic: args.has("deterministic"),
+        // Fault runs use the deterministic schedule so every fault —
+        // and any failure — replays exactly from the seed.
+        deterministic: args.has("deterministic") || faults.is_some(),
         seed,
+        faults,
         ..DataplaneConfig::default()
     };
     eprintln!(
@@ -389,10 +403,13 @@ fn cmd_dataplane(args: &Args) -> Result<(), ArgError> {
             w.stale_replies,
         );
     }
-    if report.spot_check_mismatches() > 0 {
+    if report.faults.is_some() {
+        println!("{}", report.fault_summary());
+    }
+    if report.oracle_divergence() > 0 {
         return Err(ArgError(format!(
-            "{} spot-check mismatches — dataplane diverged from its own engine",
-            report.spot_check_mismatches()
+            "{} oracle divergences — dataplane disagreed with the scalar full-table oracle",
+            report.oracle_divergence()
         )));
     }
     Ok(())

@@ -34,8 +34,9 @@
 
 use std::marker::PhantomData;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
+
+use spal_check::sync::{AtomicPtr, AtomicU64, Ordering};
 
 /// Slot value meaning "this reader is between pins".
 const IDLE: u64 = u64::MAX;
@@ -120,20 +121,25 @@ impl<T> EpochWriter<T> {
             .current
             .swap(Box::into_raw(next), Ordering::SeqCst);
         let target = self.shared.epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        for slot in self.shared.slots.iter() {
-            let mut spins = 0u32;
-            loop {
-                let s = slot.load(Ordering::SeqCst);
-                if s == IDLE || s >= target {
-                    break;
-                }
-                spins += 1;
-                if spins < 128 {
-                    std::hint::spin_loop();
-                } else {
-                    // Single-core machines need the reader scheduled to
-                    // reach its quiescent state.
-                    std::thread::yield_now();
+        // Seeded-bug hook: skipping the grace period reclaims `old`
+        // while a reader may still hold it pinned — the model-checked
+        // harness must observe the violation.
+        if !spal_check::bug_enabled("epoch-skip-grace") {
+            for slot in self.shared.slots.iter() {
+                let mut spins = 0u32;
+                loop {
+                    let s = slot.load(Ordering::SeqCst);
+                    if s == IDLE || s >= target {
+                        break;
+                    }
+                    spins += 1;
+                    if spins < 128 {
+                        spal_check::sync::spin_loop();
+                    } else {
+                        // Single-core machines need the reader scheduled
+                        // to reach its quiescent state.
+                        spal_check::sync::yield_now();
+                    }
                 }
             }
         }

@@ -14,12 +14,23 @@
 //!   periods and snapshot recycling;
 //! * [`runtime`] — workers, control plane, and the [`run`] entry point;
 //! * [`report`] — per-worker and churn statistics, comparable with the
-//!   simulator's per-LC reports.
+//!   simulator's per-LC reports;
+//! * [`vcache`] — the version-gated LR-cache (stale fabric replies are
+//!   never cached);
+//! * [`fault`] — deterministic, seed-driven fault injection for the
+//!   fabric and workers.
 
 pub mod epoch;
+pub mod fault;
 pub mod report;
 pub mod runtime;
+pub mod vcache;
 
 pub use epoch::{epoch_table, EpochReader, EpochWriter, Pinned};
-pub use report::{ChurnReport, DataplaneReport, LatencySummary, TailSummary, WorkerReport};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
+pub use report::{
+    ChurnReport, CoherenceSummary, DataplaneReport, FaultReport, LatencySummary, TailSummary,
+    WorkerReport,
+};
 pub use runtime::{run, ChurnConfig, DataplaneConfig, InvalidationMode};
+pub use vcache::{VersionedCache, VersionedFill};

@@ -1,6 +1,7 @@
 //! Results of one dataplane run, shaped to be comparable with the
 //! discrete-event simulator's [`spal_sim`-style] per-LC reports.
 
+use crate::fault::FaultStats;
 use spal_cache::CacheStats;
 use std::time::Duration;
 
@@ -32,6 +33,12 @@ pub struct WorkerReport {
     pub spot_checks: u64,
     /// Spot checks that disagreed (must be zero).
     pub spot_check_mismatches: u64,
+    /// Replies for addresses with no outstanding request — duplicates
+    /// (fault injection, or an at-least-once fabric) dropped
+    /// idempotently.
+    pub duplicate_replies: u64,
+    /// Fault-injection counters (all zero on a faultless fabric).
+    pub faults: FaultStats,
     /// Wrapping checksum over completed packets:
     /// `Σ (next_hop + 1 | 0 on routing miss)`.
     pub next_hop_sum: u64,
@@ -87,6 +94,39 @@ pub struct ChurnReport {
     pub final_mismatches: u64,
 }
 
+/// Aggregated fault-injection results (present when the run had a
+/// [`crate::fault::FaultPlan`]).
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// Plan seed; re-running with the same seed replays every fault.
+    pub seed: u64,
+    /// Messages delivered late (sum over workers).
+    pub delayed: u64,
+    /// Messages "lost" and recovered by delayed retransmit.
+    pub dropped_retransmitted: u64,
+    /// Extra message copies delivered.
+    pub duplicated: u64,
+    /// Worker iterations stalled mid-batch.
+    pub stalls: u64,
+    /// No-op snapshot publications forced at adversarial points
+    /// (deterministic schedule only).
+    pub forced_publications: u64,
+    /// Duplicate replies recognized and dropped by receivers.
+    pub duplicate_replies: u64,
+}
+
+/// Post-quiesce cache-coherence sweep (deterministic runs): every
+/// entry still resident in any LR-cache compared against the control
+/// plane's per-LC RIB oracle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoherenceSummary {
+    /// Resident entries compared (main array + victim caches).
+    pub entries_checked: u64,
+    /// Entries whose cached next hop disagreed with the oracle
+    /// (must be zero).
+    pub mismatches: u64,
+}
+
 /// Tail statistics over per-packet processing cost, estimated from
 /// per-iteration wall time divided by packets completed that iteration.
 #[derive(Debug, Clone, Default)]
@@ -127,6 +167,10 @@ pub struct DataplaneReport {
     pub tail: TailSummary,
     /// Whether the run used the deterministic single-threaded schedule.
     pub deterministic: bool,
+    /// Fault-injection results (`None` when no plan was configured).
+    pub faults: Option<FaultReport>,
+    /// Post-quiesce coherence sweep (`None` on threaded runs).
+    pub coherence: Option<CoherenceSummary>,
 }
 
 impl DataplaneReport {
@@ -185,6 +229,17 @@ impl DataplaneReport {
         self.workers.iter().map(|w| w.spot_check_mismatches).sum()
     }
 
+    /// Every way this run can disagree with the scalar full-table
+    /// oracle, summed: per-batch spot checks, the control plane's
+    /// post-churn table samples, and the post-quiesce cache-coherence
+    /// sweep. Zero means every delivered lookup and every surviving
+    /// cache entry matched the oracle.
+    pub fn oracle_divergence(&self) -> u64 {
+        let churn = self.churn.as_ref().map_or(0, |c| c.final_mismatches);
+        let coherence = self.coherence.as_ref().map_or(0, |c| c.mismatches);
+        self.spot_check_mismatches() + churn + coherence
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         let churn = match &self.churn {
@@ -206,6 +261,34 @@ impl DataplaneReport {
             self.rem_share(),
             self.tail.p99_ns,
             churn,
+        )
+    }
+
+    /// One-line summary of the fault adversary and what it achieved,
+    /// for `spal dataplane --faults`. Empty when no plan ran.
+    pub fn fault_summary(&self) -> String {
+        let Some(f) = &self.faults else {
+            return String::new();
+        };
+        let coh = match &self.coherence {
+            Some(c) => format!(
+                " | coherence {}/{} ok",
+                c.entries_checked - c.mismatches,
+                c.entries_checked
+            ),
+            None => String::new(),
+        };
+        format!(
+            "faults(seed {}): {} delayed, {} dropped+retransmitted, {} duplicated ({} dup replies dropped), {} stalls, {} forced pubs | oracle divergence {}{}",
+            f.seed,
+            f.delayed,
+            f.dropped_retransmitted,
+            f.duplicated,
+            f.duplicate_replies,
+            f.stalls,
+            f.forced_publications,
+            self.oracle_divergence(),
+            coh,
         )
     }
 
@@ -249,10 +332,12 @@ impl DataplaneReport {
             )),
             None => s.push_str("  \"churn\": null,\n"),
         }
+        s.push_str(&self.faults_json());
+        s.push_str(&self.coherence_json());
         s.push_str("  \"per_worker\": [\n");
         for (i, w) in self.workers.iter().enumerate() {
             s.push_str(&format!(
-                "    {{ \"lc\": {}, \"packets\": {}, \"hits_loc\": {}, \"hits_rem\": {}, \"hits_waiting\": {}, \"misses\": {}, \"invalidations\": {}, \"flushes\": {}, \"fe_lookups\": {}, \"remote_requests\": {}, \"remote_served\": {}, \"stale_replies\": {} }}{}\n",
+                "    {{ \"lc\": {}, \"packets\": {}, \"hits_loc\": {}, \"hits_rem\": {}, \"hits_waiting\": {}, \"misses\": {}, \"invalidations\": {}, \"flushes\": {}, \"fe_lookups\": {}, \"remote_requests\": {}, \"remote_served\": {}, \"stale_replies\": {}, \"duplicate_replies\": {} }}{}\n",
                 w.lc,
                 w.packets,
                 w.cache.hits_loc,
@@ -265,6 +350,94 @@ impl DataplaneReport {
                 w.remote_requests,
                 w.remote_served,
                 w.stale_replies,
+                w.duplicate_replies,
+                if i + 1 < self.workers.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    fn faults_json(&self) -> String {
+        match &self.faults {
+            Some(f) => format!(
+                "  \"faults\": {{ \"seed\": {}, \"delayed\": {}, \"dropped_retransmitted\": {}, \"duplicated\": {}, \"stalls\": {}, \"forced_publications\": {}, \"duplicate_replies\": {} }},\n",
+                f.seed,
+                f.delayed,
+                f.dropped_retransmitted,
+                f.duplicated,
+                f.stalls,
+                f.forced_publications,
+                f.duplicate_replies,
+            ),
+            None => "  \"faults\": null,\n".to_string(),
+        }
+    }
+
+    fn coherence_json(&self) -> String {
+        match &self.coherence {
+            Some(c) => format!(
+                "  \"coherence\": {{ \"entries_checked\": {}, \"mismatches\": {} }},\n",
+                c.entries_checked, c.mismatches,
+            ),
+            None => "  \"coherence\": null,\n".to_string(),
+        }
+    }
+
+    /// Deterministic subset of [`Self::to_json`]: everything that is a
+    /// pure function of the configuration and seeds, with all
+    /// wall-clock-derived numbers (elapsed, throughput, tail
+    /// percentiles, apply latencies) omitted. Deterministic runs render
+    /// byte-for-byte identically across machines, which is what the
+    /// golden-report regression test pins.
+    pub fn canonical_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"workers\": {},\n", self.workers.len()));
+        s.push_str(&format!("  \"deterministic\": {},\n", self.deterministic));
+        s.push_str(&format!("  \"total_packets\": {},\n", self.total_packets()));
+        s.push_str(&format!("  \"hit_rate\": {:.6},\n", self.hit_rate()));
+        s.push_str(&format!("  \"rem_share\": {:.6},\n", self.rem_share()));
+        s.push_str(&format!("  \"checksum\": {},\n", self.checksum()));
+        s.push_str(&format!(
+            "  \"spot_check_mismatches\": {},\n",
+            self.spot_check_mismatches()
+        ));
+        s.push_str(&format!(
+            "  \"oracle_divergence\": {},\n",
+            self.oracle_divergence()
+        ));
+        match &self.churn {
+            Some(c) => s.push_str(&format!(
+                "  \"churn\": {{ \"updates\": {}, \"publications\": {}, \"invalidations_sent\": {}, \"final_checks\": {}, \"final_mismatches\": {} }},\n",
+                c.updates_applied,
+                c.publications,
+                c.invalidations_sent,
+                c.final_checks,
+                c.final_mismatches,
+            )),
+            None => s.push_str("  \"churn\": null,\n"),
+        }
+        s.push_str(&self.faults_json());
+        s.push_str(&self.coherence_json());
+        s.push_str("  \"per_worker\": [\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"lc\": {}, \"packets\": {}, \"hits_loc\": {}, \"hits_rem\": {}, \"hits_waiting\": {}, \"misses\": {}, \"invalidations\": {}, \"flushes\": {}, \"fe_lookups\": {}, \"remote_requests\": {}, \"remote_served\": {}, \"stale_replies\": {}, \"duplicate_replies\": {}, \"next_hop_sum\": {} }}{}\n",
+                w.lc,
+                w.packets,
+                w.cache.hits_loc,
+                w.cache.hits_rem,
+                w.cache.hits_waiting,
+                w.cache.misses,
+                w.cache.invalidations,
+                w.cache.flushes,
+                w.fe_lookups,
+                w.remote_requests,
+                w.remote_served,
+                w.stale_replies,
+                w.duplicate_replies,
+                w.next_hop_sum,
                 if i + 1 < self.workers.len() { "," } else { "" },
             ));
         }

@@ -39,7 +39,13 @@
 //! completes its packet but is not cached (`stale_replies`).
 
 use crate::epoch::{epoch_table, EpochReader, EpochWriter};
-use crate::report::{ChurnReport, DataplaneReport, TailSummary, WorkerReport};
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::report::{
+    ChurnReport, CoherenceSummary, DataplaneReport, FaultReport, TailSummary, WorkerReport,
+};
+use crate::vcache::{VersionedCache, VersionedFill};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use spal_cache::{LrCache, LrCacheConfig, Origin, ProbeResult};
 use spal_core::bits::{eta_for, select_bits};
 use spal_core::{ForwardingTable, LpmAlgorithm, Partitioning};
@@ -48,7 +54,7 @@ use spal_lpm::{CountedLookup, Lpm};
 use spal_rib::updates::{update_stream, Update, UpdateStreamConfig};
 use spal_rib::{Prefix, RoutingTable};
 use spal_traffic::Trace;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -117,6 +123,9 @@ pub struct DataplaneConfig {
     pub deterministic: bool,
     /// Seed for the churn stream and the final consistency sampler.
     pub seed: u64,
+    /// Fault-injection plan (`None` = faultless fabric). Deterministic
+    /// for a given plan seed; see [`crate::fault`].
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for DataplaneConfig {
@@ -132,6 +141,7 @@ impl Default for DataplaneConfig {
             spot_check_every: 64,
             deterministic: false,
             seed: 1,
+            faults: None,
         }
     }
 }
@@ -178,7 +188,7 @@ struct WorkerCore {
     lc: usize,
     psi: usize,
     part: Arc<Partitioning>,
-    cache: LrCache<Option<u16>>,
+    cache: VersionedCache<Option<u16>>,
     dests: Arc<[u32]>,
     pos: usize,
     batch: usize,
@@ -194,9 +204,12 @@ struct WorkerCore {
     /// Addresses to resolve on the local engine this iteration.
     fe_queue: Vec<u32>,
     results: Vec<CountedLookup>,
-    /// Latest publication version whose invalidations were processed.
-    inval_version: u64,
-    outstanding: usize,
+    /// Addresses with an unanswered remote request in flight. A set,
+    /// not a counter, so a duplicated reply (fault injection, or a real
+    /// fabric's at-least-once retry) is recognized and ignored.
+    awaiting_reply: HashSet<u32>,
+    /// Fault adversary (`None` on a faultless fabric).
+    faults: Option<FaultInjector>,
     spot_check_every: u64,
     fe_since_check: u64,
     report: WorkerReport,
@@ -243,7 +256,7 @@ impl WorkerCore {
                 if home as usize == self.lc {
                     self.fe_queue.push(addr);
                 } else {
-                    self.outstanding += 1;
+                    self.awaiting_reply.insert(addr);
                     self.report.remote_requests += 1;
                     self.outbox.push_back(FabricMsg {
                         kind: MsgKind::Request,
@@ -277,13 +290,9 @@ impl WorkerCore {
         while let Some(msg) = self.ctrl_rx.try_pop() {
             n += 1;
             match msg {
-                CtrlMsg::Flush { version } => {
-                    self.cache.flush();
-                    self.inval_version = self.inval_version.max(version);
-                }
+                CtrlMsg::Flush { version } => self.cache.apply_flush(version),
                 CtrlMsg::Invalidate { bits, len, version } => {
-                    self.cache.invalidate_covered(bits, len);
-                    self.inval_version = self.inval_version.max(version);
+                    self.cache.apply_invalidation(bits, len, version);
                 }
             }
         }
@@ -318,17 +327,23 @@ impl WorkerCore {
     }
 
     fn handle_reply(&mut self, msg: FabricMsg, nh: Option<u16>) {
+        if !self.awaiting_reply.remove(&msg.addr) {
+            // A duplicated (or retransmitted-after-resolve) reply: the
+            // original already completed every waiter and filled the
+            // cache, so this copy is dropped idempotently.
+            self.report.duplicate_replies += 1;
+            return;
+        }
         self.report.replies_received += 1;
-        self.outstanding -= 1;
-        if msg.sent_at >= self.inval_version {
-            self.cache.fill(msg.addr, nh, Origin::Rem);
-        } else {
+        match self
+            .cache
+            .fill_versioned(msg.addr, nh, Origin::Rem, msg.sent_at)
+        {
+            VersionedFill::Cached(_) => {}
             // Result computed on a table older than an invalidation we
             // already processed: complete the packet (one stale delivery,
-            // as on a real router) but evict the waiting entry instead of
-            // caching the value.
-            self.report.stale_replies += 1;
-            self.cache.invalidate_covered(msg.addr, 32);
+            // as on a real router) but never cache the value.
+            VersionedFill::StaleDropped => self.report.stale_replies += 1,
         }
         self.resolve(msg.addr, nh, msg.sent_at);
     }
@@ -393,7 +408,7 @@ impl WorkerCore {
                 }
             }
             let nh = res.next_hop.map(|h| h.0);
-            self.cache.fill(addr, nh, Origin::Loc);
+            self.cache.fill_local(addr, nh, Origin::Loc);
             self.resolve(addr, nh, snap.version);
         }
         // Reuse the allocation for the next iteration's queue.
@@ -404,6 +419,13 @@ impl WorkerCore {
     /// Try to deliver queued messages; a full destination ring defers
     /// its messages (in order) to the next iteration rather than block.
     fn flush_outbox(&mut self) {
+        if let Some(f) = self.faults.as_mut() {
+            // The adversary goes between the outbox and the wire: it
+            // may hold messages back, clone them, or release ones held
+            // on earlier iterations.
+            let queued = std::mem::take(&mut self.outbox);
+            f.filter(queued, &mut self.outbox);
+        }
         if self.outbox.is_empty() {
             return;
         }
@@ -431,7 +453,8 @@ impl WorkerCore {
             && self.pos >= self.dests.len()
             && self.pending.is_empty()
             && self.outbox.is_empty()
-            && self.outstanding == 0
+            && self.awaiting_reply.is_empty()
+            && self.faults.as_ref().map_or(0, |f| f.pending()) == 0
         {
             self.marked_done = true;
             self.done.fetch_add(1, Ordering::SeqCst);
@@ -443,10 +466,26 @@ impl WorkerCore {
         let mut work = self.drain_ctrl();
         work += self.drain_fabric(snap);
         work += self.admit_own();
+        if self.faults.as_mut().is_some_and(|f| f.roll_stall()) {
+            // Mid-batch stall: the batch just admitted (probes,
+            // reservations, parked waiters) and anything queued for the
+            // FE or the fabric is held as-is. The next unstalled
+            // iteration resumes against whatever snapshot is then
+            // current — i.e. possibly across a publication.
+            return (work, self.completed_this_iter);
+        }
         self.fe_flush(snap);
         self.flush_outbox();
         self.maybe_mark_done();
         (work, self.completed_this_iter)
+    }
+
+    fn finalize_report(&mut self) {
+        self.report.lc = self.lc;
+        self.report.cache = *self.cache.stats();
+        if let Some(f) = &self.faults {
+            self.report.faults = f.stats();
+        }
     }
 }
 
@@ -479,8 +518,7 @@ impl Worker {
     }
 
     fn into_results(mut self, samples: Vec<f64>) -> (WorkerReport, Vec<f64>) {
-        self.core.report.lc = self.core.lc;
-        self.core.report.cache = *self.core.cache.stats();
+        self.core.finalize_report();
         (self.core.report, samples)
     }
 }
@@ -727,7 +765,7 @@ pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> Dat
                 lc,
                 psi,
                 part: Arc::clone(&part),
-                cache: LrCache::new(cfg.cache.clone()),
+                cache: VersionedCache::new(LrCache::new(cfg.cache.clone())),
                 dests: traces[lc % traces.len()].destinations_shared(),
                 pos: 0,
                 batch: cfg.batch.max(1),
@@ -738,8 +776,8 @@ pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> Dat
                 pending: HashMap::new(),
                 fe_queue: Vec::new(),
                 results: Vec::new(),
-                inval_version: 0,
-                outstanding: 0,
+                awaiting_reply: HashSet::new(),
+                faults: cfg.faults.as_ref().map(|p| FaultInjector::new(p, lc)),
                 spot_check_every: cfg.spot_check_every,
                 fe_since_check: 0,
                 report: WorkerReport::default(),
@@ -780,13 +818,42 @@ pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> Dat
     });
 
     let t0 = Instant::now();
-    let (mut results, elapsed) = if cfg.deterministic {
-        let r = run_deterministic(&mut workers, &mut control, updates.as_deref(), cfg);
-        (r, t0.elapsed())
+    let (mut results, coherence, forced_publications) = if cfg.deterministic {
+        let (r, forced) = run_deterministic(&mut workers, &mut control, updates.as_deref(), cfg);
+        // Post-quiesce coherence sweep: the trailing publications left
+        // their invalidations queued in the control rings, so drain
+        // those first; then every entry still resident in any cache
+        // must agree with the control plane's RIB oracle — targeted
+        // invalidation plus the reply-version gate must leave no entry
+        // covered by an updated prefix.
+        let mut entries_checked = 0u64;
+        let mut mismatches = 0u64;
+        for w in workers.iter_mut() {
+            w.core.drain_ctrl();
+            for (addr, value) in w.core.cache.entries() {
+                let home = part.home_of(addr) as usize;
+                let expect = control.per_lc_rib[home]
+                    .longest_match(addr)
+                    .map(|e| e.next_hop.0);
+                entries_checked += 1;
+                if value != expect {
+                    mismatches += 1;
+                }
+            }
+        }
+        (
+            r,
+            Some(CoherenceSummary {
+                entries_checked,
+                mismatches,
+            }),
+            forced,
+        )
     } else {
         let r = run_threaded(workers, &mut control, updates.as_deref(), cfg);
-        (r, t0.elapsed())
+        (r, None, 0)
     };
+    let elapsed = t0.elapsed();
 
     let mut report = DataplaneReport {
         deterministic: cfg.deterministic,
@@ -803,6 +870,22 @@ pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> Dat
     if cfg.churn.is_some() {
         control.final_check(1_000, cfg.seed ^ 0xF1A1);
         report.churn = Some(control.report.clone());
+    }
+    report.coherence = coherence;
+    if let Some(plan) = &cfg.faults {
+        let mut fr = FaultReport {
+            seed: plan.seed,
+            forced_publications,
+            ..Default::default()
+        };
+        for w in &report.workers {
+            fr.delayed += w.faults.delayed;
+            fr.dropped_retransmitted += w.faults.dropped_retransmitted;
+            fr.duplicated += w.faults.duplicated;
+            fr.stalls += w.faults.stalls;
+            fr.duplicate_replies += w.duplicate_replies;
+        }
+        report.faults = Some(fr);
     }
     report
 }
@@ -834,9 +917,24 @@ fn run_deterministic(
     control: &mut Control,
     updates: Option<&[Update]>,
     cfg: &DataplaneConfig,
-) -> Vec<(WorkerReport, Vec<f64>)> {
+) -> (Vec<(WorkerReport, Vec<f64>)>, u64) {
     let psi = workers.len();
     let done = Arc::clone(&workers[0].core.done);
+    // Adversarial snapshot swaps: a seeded coin decides, per round,
+    // whether to force an extra (no-update) publication right before
+    // the workers run — an epoch bump at a schedule point the paced
+    // mode would rarely produce.
+    let mut forced_rng = cfg
+        .faults
+        .as_ref()
+        .filter(|p| p.forced_publication_per_mille > 0)
+        .map(|p| {
+            (
+                SmallRng::seed_from_u64(p.seed ^ 0xF0CE_D5AB),
+                p.forced_publication_per_mille,
+            )
+        });
+    let mut forced_publications = 0u64;
     // Spread publications evenly over the rounds the longest trace
     // needs, so churn overlaps forwarding deterministically.
     let mut batches: VecDeque<&[Update]> = match (updates, cfg.churn.as_ref()) {
@@ -864,6 +962,12 @@ fn run_deterministic(
             let batch = batches.pop_front().expect("non-empty");
             control.publish_batch(batch);
         }
+        if let Some((rng, per_mille)) = forced_rng.as_mut() {
+            if rng.gen_range(0u16..1000) < *per_mille {
+                control.publish_batch(&[]);
+                forced_publications += 1;
+            }
+        }
         for (i, w) in workers.iter_mut().enumerate() {
             let t0 = Instant::now();
             let (_, completed) = w.iterate();
@@ -877,17 +981,17 @@ fn run_deterministic(
     while let Some(batch) = batches.pop_front() {
         control.publish_batch(batch);
     }
-    workers
+    let results = workers
         .iter_mut()
         .map(|w| {
-            w.core.report.lc = w.core.lc;
-            w.core.report.cache = *w.core.cache.stats();
+            w.core.finalize_report();
             (
                 w.core.report.clone(),
                 std::mem::take(&mut samples[w.core.lc]),
             )
         })
-        .collect()
+        .collect();
+    (results, forced_publications)
 }
 
 #[cfg(test)]

@@ -1,0 +1,158 @@
+//! The fault suite: the dataplane under a deterministic, seed-driven
+//! adversary that drops (retransmits), delays and duplicates fabric
+//! messages, stalls workers mid-batch, and forces snapshot swaps at
+//! adversarial schedule points — all while the oracle machinery checks
+//! every delivered lookup against the scalar full-table lookup.
+//!
+//! CI runs this suite with three fixed seeds (11, 42, 1337). A failure
+//! replays exactly: the whole run is a function of the config and the
+//! plan seed.
+
+use spal_cache::LrCacheConfig;
+use spal_dataplane::{run, ChurnConfig, DataplaneConfig, FaultPlan};
+use spal_rib::{synth, RoutingTable};
+use spal_traffic::{preset, PresetName, Trace, TracePreset};
+
+const SEEDS: [u64; 3] = [11, 42, 1337];
+
+fn setup(psi: usize, packets_per_worker: usize) -> (RoutingTable, Vec<Trace>) {
+    let table = synth::small(21);
+    let p = TracePreset {
+        distinct: 600,
+        ..preset(PresetName::D75)
+    };
+    let traces = p.generate(&table, psi * packets_per_worker, 9).split(psi);
+    (table, traces)
+}
+
+fn fault_cfg(psi: usize, seed: u64, churn: bool) -> DataplaneConfig {
+    DataplaneConfig {
+        workers: psi,
+        deterministic: true,
+        cache: LrCacheConfig::paper(512),
+        churn: churn.then_some(ChurnConfig {
+            updates: 400,
+            updates_per_publication: 25,
+            withdraw_fraction: 0.3,
+            pace_us: 0,
+        }),
+        seed: 3,
+        faults: Some(FaultPlan::standard(seed)),
+        ..Default::default()
+    }
+}
+
+fn oracle_checksum(table: &RoutingTable, traces: &[Trace]) -> (u64, u64) {
+    let mut packets = 0u64;
+    let mut sum = 0u64;
+    for t in traces {
+        for &addr in t.destinations() {
+            packets += 1;
+            sum = sum.wrapping_add(
+                table
+                    .longest_match(addr)
+                    .map(|e| e.next_hop.0 as u64 + 1)
+                    .unwrap_or(0),
+            );
+        }
+    }
+    (packets, sum)
+}
+
+/// Every fault class must actually have fired, or the run proved
+/// nothing.
+fn assert_adversary_fired(report: &spal_dataplane::DataplaneReport, seed: u64) {
+    let f = report.faults.as_ref().expect("fault plan ran");
+    assert_eq!(f.seed, seed);
+    assert!(f.delayed > 0, "seed {seed}: no message was delayed");
+    assert!(
+        f.dropped_retransmitted > 0,
+        "seed {seed}: no message was dropped"
+    );
+    assert!(f.duplicated > 0, "seed {seed}: no message was duplicated");
+    assert!(f.stalls > 0, "seed {seed}: no worker ever stalled");
+    assert!(
+        f.forced_publications > 0,
+        "seed {seed}: no forced snapshot swap"
+    );
+    assert!(
+        f.duplicate_replies > 0,
+        "seed {seed}: duplicates never reached a receiver as replies"
+    );
+}
+
+/// Static table: faults reorder and duplicate work but the per-packet
+/// results are a pure function of the table, so the checksum must equal
+/// the scalar oracle exactly — nothing lost, nothing double-counted.
+#[test]
+fn static_table_fault_runs_match_oracle_exactly() {
+    let (table, traces) = setup(4, 3_000);
+    let (packets, sum) = oracle_checksum(&table, &traces);
+    for seed in SEEDS {
+        let report = run(&table, &traces, &fault_cfg(4, seed, false));
+        assert_eq!(report.total_packets(), packets, "seed {seed}");
+        assert_eq!(report.checksum(), sum, "seed {seed}: checksum diverged");
+        assert_eq!(report.oracle_divergence(), 0, "seed {seed}");
+        assert_adversary_fired(&report, seed);
+    }
+}
+
+/// Churn + faults: delayed/duplicated replies race real invalidations
+/// and forced epoch bumps. Spot checks, the control plane's final table
+/// samples, and the post-quiesce coherence sweep must all stay clean.
+#[test]
+fn churn_with_faults_has_zero_oracle_divergence() {
+    let (table, traces) = setup(4, 3_000);
+    for seed in SEEDS {
+        let report = run(&table, &traces, &fault_cfg(4, seed, true));
+        assert_eq!(report.total_packets(), 4 * 3_000, "seed {seed}");
+        assert_eq!(
+            report.oracle_divergence(),
+            0,
+            "seed {seed}: {}",
+            report.fault_summary()
+        );
+        let churn = report.churn.as_ref().expect("churn ran");
+        assert_eq!(churn.updates_applied, 400, "seed {seed}");
+        let coh = report.coherence.expect("deterministic run sweeps");
+        assert!(coh.entries_checked > 0, "seed {seed}: empty sweep");
+        assert_eq!(coh.mismatches, 0, "seed {seed}: stale cache entries");
+        assert_adversary_fired(&report, seed);
+        // The adversary actually exercised the stale-reply gate or the
+        // duplicate filter on top of plain delivery.
+        let f = report.faults.as_ref().expect("plan ran");
+        assert!(f.delayed + f.duplicated + f.dropped_retransmitted > 100);
+    }
+}
+
+/// A fault run is a pure function of its seeds: re-running renders a
+/// byte-identical canonical report, which is what makes any failure of
+/// the two tests above replayable.
+#[test]
+fn fault_runs_replay_deterministically() {
+    let (table, traces) = setup(2, 1_500);
+    let a = run(&table, &traces, &fault_cfg(2, 42, true));
+    let b = run(&table, &traces, &fault_cfg(2, 42, true));
+    assert_eq!(a.canonical_json(), b.canonical_json());
+    // And a different adversary seed gives a genuinely different run.
+    let c = run(&table, &traces, &fault_cfg(2, 43, true));
+    let (fa, fc) = (a.faults.as_ref().unwrap(), c.faults.as_ref().unwrap());
+    assert_ne!(
+        (fa.delayed, fa.duplicated, fa.stalls),
+        (fc.delayed, fc.duplicated, fc.stalls),
+        "seeds 42 and 43 produced the same fault trace"
+    );
+}
+
+/// Full-flush invalidation mode survives the same adversary.
+#[test]
+fn full_flush_mode_survives_faults() {
+    use spal_dataplane::InvalidationMode;
+    let (table, traces) = setup(2, 2_000);
+    let mut cfg = fault_cfg(2, 1337, true);
+    cfg.invalidation = InvalidationMode::FullFlush;
+    let report = run(&table, &traces, &cfg);
+    assert_eq!(report.oracle_divergence(), 0, "{}", report.fault_summary());
+    let flushes: u64 = report.workers.iter().map(|w| w.cache.flushes).sum();
+    assert!(flushes > 0, "full-flush mode never flushed");
+}

@@ -1,0 +1,58 @@
+//! Golden-report regression: one fixed deterministic run (churn +
+//! faults on) rendered through [`DataplaneReport::canonical_json`] and
+//! pinned byte-for-byte against a checked-in file. Any change to the
+//! schedule, the fault stream, the cache policy, or the report shape
+//! shows up as a diff here before it shows up as a mystery elsewhere.
+//!
+//! To re-bless after an *intentional* change:
+//!
+//! ```text
+//! SPAL_BLESS=1 cargo test -p spal-dataplane --test golden_report
+//! ```
+
+use spal_cache::LrCacheConfig;
+use spal_dataplane::{run, ChurnConfig, DataplaneConfig, FaultPlan};
+use spal_rib::synth;
+use spal_traffic::{preset, PresetName, TracePreset};
+
+#[test]
+fn canonical_report_matches_golden_file() {
+    let table = synth::small(21);
+    let traces = TracePreset {
+        distinct: 600,
+        ..preset(PresetName::D75)
+    }
+    .generate(&table, 3 * 2_000, 9)
+    .split(3);
+    let cfg = DataplaneConfig {
+        workers: 3,
+        deterministic: true,
+        cache: LrCacheConfig::paper(512),
+        churn: Some(ChurnConfig {
+            updates: 200,
+            updates_per_publication: 25,
+            withdraw_fraction: 0.3,
+            pace_us: 0,
+        }),
+        seed: 3,
+        faults: Some(FaultPlan::standard(42)),
+        ..Default::default()
+    };
+    let got = run(&table, &traces, &cfg).canonical_json();
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/dataplane_report.json"
+    );
+    if std::env::var_os("SPAL_BLESS").is_some() {
+        std::fs::write(path, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden file missing — run once with SPAL_BLESS=1 to create it");
+    assert_eq!(
+        got, want,
+        "canonical report drifted from {path}; if the change is \
+         intentional, re-bless with SPAL_BLESS=1"
+    );
+}

@@ -1,0 +1,354 @@
+//! Exhaustive interleaving tests for the version-gated cache
+//! ([`spal_dataplane::VersionedCache`]): every merge order of a worker's
+//! fabric-reply lane with the control plane's invalidation lane is
+//! replayed from scratch and checked against an independent oracle.
+//!
+//! These run in the ordinary test suite (no `--cfg spal_check` needed):
+//! the cache is plain data, so "concurrency" here is the *order* in
+//! which the worker observes events, which [`for_each_interleaving`]
+//! enumerates exhaustively — C(n+m, n) schedules per test.
+
+use spal_cache::{LrCache, LrCacheConfig, Origin, ProbeResult};
+use spal_check::interleave::{for_each_interleaving, interleaving_count};
+use spal_dataplane::{VersionedCache, VersionedFill};
+
+fn fresh() -> VersionedCache<u16> {
+    VersionedCache::new(LrCache::new(LrCacheConfig {
+        blocks: 64,
+        assoc: 4,
+        victim_blocks: 0,
+        ..Default::default()
+    }))
+}
+
+/// One event as the worker observes it, in some schedule order.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// Fabric reply for `addr` computed against table version `sent_at`.
+    Fill { addr: u32, val: u16, sent_at: u64 },
+    /// Prefix-targeted invalidation from a publication at `version`.
+    Inval { bits: u32, len: u8, version: u64 },
+    /// Full-flush invalidation from a publication at `version`.
+    Flush { version: u64 },
+}
+
+fn apply(c: &mut VersionedCache<u16>, ev: Ev) {
+    match ev {
+        Ev::Fill { addr, val, sent_at } => {
+            c.fill_versioned(addr, val, Origin::Rem, sent_at);
+        }
+        Ev::Inval { bits, len, version } => {
+            c.apply_invalidation(bits, len, version);
+        }
+        Ev::Flush { version } => c.apply_flush(version),
+    }
+}
+
+/// Replay one schedule: `s[i] == 0` takes the next lane-0 event,
+/// `1` the next lane-1 event.
+fn replay(c: &mut VersionedCache<u16>, s: &[u8], lane0: &[Ev], lane1: &[Ev]) {
+    let (mut i, mut j) = (0, 0);
+    for &lane in s {
+        if lane == 0 {
+            apply(c, lane0[i]);
+            i += 1;
+        } else {
+            apply(c, lane1[j]);
+            j += 1;
+        }
+    }
+}
+
+/// The classic torn-update race: an old reply (computed against the
+/// pre-update table) races the invalidation that obsoletes it and the
+/// refreshed reply. Whatever the merge order, the pre-update next hop
+/// must never be served from the cache once all events are processed.
+#[test]
+fn stale_reply_never_cached() {
+    let addr = 0x0A00_0001; // inside 10.0.0.0/8
+    let lane_worker = [Ev::Fill {
+        addr,
+        val: 1,
+        sent_at: 1,
+    }];
+    let lane_ctrl = [
+        Ev::Inval {
+            bits: 0x0A00_0000,
+            len: 8,
+            version: 2,
+        },
+        Ev::Fill {
+            addr,
+            val: 2,
+            sent_at: 2,
+        },
+    ];
+    let visited = for_each_interleaving(lane_worker.len(), lane_ctrl.len(), |s| {
+        let mut c = fresh();
+        replay(&mut c, s, &lane_worker, &lane_ctrl);
+        match c.probe(addr) {
+            ProbeResult::Hit { value, .. } => {
+                assert_ne!(value, 1, "stale next hop served after schedule {s:?}")
+            }
+            ProbeResult::Miss | ProbeResult::HitWaiting => {}
+        }
+    });
+    assert_eq!(visited, interleaving_count(1, 2));
+}
+
+/// Invalidation coverage is exact in every order: replies under the
+/// updated prefix never survive, replies outside it (stamped with the
+/// post-update version, as a real refreshed reply is) always do.
+#[test]
+fn invalidation_coverage_is_exact_in_every_order() {
+    let covered = [0x0A00_0001u32, 0x0AFF_FFFE];
+    let outside = [0x0B00_0001u32, 0xC0A8_0001];
+    let lane_worker = [
+        Ev::Fill {
+            addr: covered[0],
+            val: 10,
+            sent_at: 1,
+        },
+        Ev::Fill {
+            addr: outside[0],
+            val: 20,
+            sent_at: 2,
+        },
+        Ev::Fill {
+            addr: covered[1],
+            val: 11,
+            sent_at: 1,
+        },
+        Ev::Fill {
+            addr: outside[1],
+            val: 21,
+            sent_at: 2,
+        },
+    ];
+    let lane_ctrl = [Ev::Inval {
+        bits: 0x0A00_0000,
+        len: 8,
+        version: 2,
+    }];
+    let visited = for_each_interleaving(lane_worker.len(), lane_ctrl.len(), |s| {
+        let mut c = fresh();
+        replay(&mut c, s, &lane_worker, &lane_ctrl);
+        for a in covered {
+            assert_eq!(
+                c.probe(a),
+                ProbeResult::Miss,
+                "covered {a:#010x} survived schedule {s:?}"
+            );
+        }
+        for (a, v) in outside.iter().zip([20u16, 21]) {
+            assert!(
+                matches!(c.probe(*a), ProbeResult::Hit { value, .. } if value == v),
+                "outside {a:#010x} lost under schedule {s:?}"
+            );
+        }
+    });
+    assert_eq!(visited, interleaving_count(4, 1));
+}
+
+/// Full protocol soup vs an independent oracle, exhaustively: 8 worker
+/// events × 8 control events = C(16, 8) = 12 870 schedules. The oracle
+/// replays the schedule over a flat map with the protocol's rules
+/// (stale fill drops the entry, covering invalidation evicts, flush
+/// clears, versions are monotone) and the cache must agree exactly —
+/// the cache adds set-associativity, LRU and waiting-list machinery the
+/// oracle does not have.
+#[test]
+fn cache_matches_oracle_across_12870_interleavings() {
+    // ≤ 4 distinct addresses so capacity eviction is impossible and the
+    // oracle's "still cached" claim is exact.
+    let a = [0x0A00_0001u32, 0x0A00_0002, 0x0B00_0001, 0xC0A8_0001];
+    let lane_worker = [
+        Ev::Fill {
+            addr: a[0],
+            val: 1,
+            sent_at: 0,
+        },
+        Ev::Fill {
+            addr: a[1],
+            val: 2,
+            sent_at: 0,
+        },
+        Ev::Fill {
+            addr: a[2],
+            val: 3,
+            sent_at: 1,
+        },
+        Ev::Fill {
+            addr: a[0],
+            val: 4,
+            sent_at: 2,
+        },
+        Ev::Fill {
+            addr: a[3],
+            val: 5,
+            sent_at: 2,
+        },
+        Ev::Fill {
+            addr: a[1],
+            val: 6,
+            sent_at: 3,
+        },
+        Ev::Fill {
+            addr: a[2],
+            val: 7,
+            sent_at: 4,
+        },
+        Ev::Fill {
+            addr: a[3],
+            val: 8,
+            sent_at: 4,
+        },
+    ];
+    let lane_ctrl = [
+        Ev::Inval {
+            bits: 0x0A00_0000,
+            len: 8,
+            version: 1,
+        },
+        Ev::Inval {
+            bits: 0x0A00_0002,
+            len: 32,
+            version: 2,
+        },
+        Ev::Flush { version: 3 },
+        Ev::Inval {
+            bits: 0x0B00_0000,
+            len: 8,
+            version: 4,
+        },
+        Ev::Inval {
+            bits: 0xC000_0000,
+            len: 4,
+            version: 4,
+        },
+        Ev::Inval {
+            bits: 0x0A00_0000,
+            len: 7,
+            version: 5,
+        },
+        Ev::Inval {
+            bits: 0xFF00_0000,
+            len: 8,
+            version: 5,
+        },
+        Ev::Inval {
+            bits: 0x0000_0000,
+            len: 1,
+            version: 6,
+        },
+    ];
+
+    let covered_by =
+        |addr: u32, bits: u32, len: u8| len == 0 || (addr ^ bits) >> (32 - len as u32) == 0;
+    let visited = for_each_interleaving(lane_worker.len(), lane_ctrl.len(), |s| {
+        let mut c = fresh();
+        // Independent oracle: flat map + the protocol rules.
+        let mut map = std::collections::HashMap::new();
+        let mut version = 0u64;
+        let (mut i, mut j) = (0, 0);
+        for &lane in s {
+            let ev = if lane == 0 {
+                i += 1;
+                lane_worker[i - 1]
+            } else {
+                j += 1;
+                lane_ctrl[j - 1]
+            };
+            apply(&mut c, ev);
+            match ev {
+                Ev::Fill { addr, val, sent_at } => {
+                    if sent_at >= version {
+                        map.insert(addr, val);
+                    } else {
+                        map.remove(&addr);
+                    }
+                }
+                Ev::Inval {
+                    bits,
+                    len,
+                    version: v,
+                } => {
+                    map.retain(|&addr, _| !covered_by(addr, bits, len));
+                    version = version.max(v);
+                }
+                Ev::Flush { version: v } => {
+                    map.clear();
+                    version = version.max(v);
+                }
+            }
+        }
+        for addr in a {
+            let got = match c.probe(addr) {
+                ProbeResult::Hit { value, .. } => Some(value),
+                _ => None,
+            };
+            assert_eq!(
+                got,
+                map.get(&addr).copied(),
+                "cache disagrees with oracle for {addr:#010x} under {s:?}"
+            );
+        }
+    });
+    assert_eq!(visited, 12_870);
+    assert_eq!(visited, interleaving_count(8, 8));
+}
+
+/// The gate itself, stated directly: a fill stamped older than the
+/// cache's processed-invalidation version is always reported
+/// [`VersionedFill::StaleDropped`] and leaves no entry behind, in every
+/// order the version got there.
+#[test]
+fn fill_versioned_gate_is_order_insensitive() {
+    let lane_bumps = [
+        Ev::Inval {
+            bits: 0xFF00_0000,
+            len: 8,
+            version: 3,
+        },
+        Ev::Inval {
+            bits: 0xFE00_0000,
+            len: 8,
+            version: 5,
+        },
+        Ev::Flush { version: 7 },
+    ];
+    let lane_noise = [
+        Ev::Fill {
+            addr: 0x0100_0000,
+            val: 1,
+            sent_at: 9,
+        },
+        Ev::Fill {
+            addr: 0x0200_0000,
+            val: 2,
+            sent_at: 9,
+        },
+        Ev::Fill {
+            addr: 0x0300_0000,
+            val: 3,
+            sent_at: 9,
+        },
+    ];
+    for_each_interleaving(lane_bumps.len(), lane_noise.len(), |s| {
+        let mut c = fresh();
+        replay(&mut c, s, &lane_bumps, &lane_noise);
+        // Whatever interleaved, the version is now 7: a sent_at-6 reply
+        // must be refused.
+        assert_eq!(c.version(), 7);
+        assert_eq!(
+            c.fill_versioned(0x0400_0000, 9, Origin::Rem, 6),
+            VersionedFill::StaleDropped
+        );
+        assert_eq!(c.probe(0x0400_0000), ProbeResult::Miss);
+        // And a current one accepted.
+        assert_eq!(
+            c.fill_versioned(0x0400_0000, 9, Origin::Rem, 7),
+            VersionedFill::Cached(spal_cache::FillOutcome::Inserted)
+        );
+    });
+}

@@ -23,23 +23,24 @@
 //! exist per ring, which is what makes plain loads/stores on the indices
 //! sufficient.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use spal_check::sync::{AtomicUsize, CheckCell, Ordering};
+
 struct RingInner<T> {
-    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    slots: Box<[CheckCell<MaybeUninit<T>>]>,
     /// Next index the producer will write (only the producer stores it).
     head: AtomicUsize,
     /// Next index the consumer will read (only the consumer stores it).
     tail: AtomicUsize,
 }
 
-// SAFETY: the producer/consumer split guarantees each slot is accessed
-// by at most one thread at a time, with the head/tail Release/Acquire
-// pairs ordering the accesses; T: Send is required to move items across.
-unsafe impl<T: Send> Sync for RingInner<T> {}
+// RingInner is Sync via CheckCell's `T: Send` bound: the
+// producer/consumer split guarantees each slot is accessed by at most
+// one thread at a time, with the head/tail Release/Acquire pairs
+// ordering the accesses — exactly the discipline the model checker
+// verifies when this crate is built with `--cfg spal_check`.
 
 /// Producer half of a bounded SPSC ring (see [`spsc_ring`]).
 pub struct SpscProducer<T> {
@@ -57,8 +58,8 @@ pub struct SpscConsumer<T> {
 /// (rounded up to a power of two, minimum 2).
 pub fn spsc_ring<T: Copy + Send>(capacity: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
     let cap = capacity.max(2).next_power_of_two();
-    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
-        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+    let slots: Box<[CheckCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| CheckCell::new(MaybeUninit::uninit()))
         .collect();
     let inner = Arc::new(RingInner {
         slots,
@@ -93,12 +94,18 @@ impl<T: Copy + Send> SpscProducer<T> {
         // SAFETY: the slot at `head` is past the consumer's tail (checked
         // above), so only this producer touches it until the Release
         // store below publishes it.
-        unsafe {
-            (*self.inner.slots[head & self.mask].get()).write(item);
-        }
-        self.inner
-            .head
-            .store(head.wrapping_add(1), Ordering::Release);
+        self.inner.slots[head & self.mask].with_mut(|p| unsafe {
+            (*p).write(item);
+        });
+        // Seeded-bug hook: weakening this publish to Relaxed severs the
+        // happens-before edge to the consumer's slot read — the model
+        // checker must flag it (crates/check/tests assert that it does).
+        let publish = if spal_check::bug_enabled("spsc-head-store-relaxed") {
+            Ordering::Relaxed
+        } else {
+            Ordering::Release
+        };
+        self.inner.head.store(head.wrapping_add(1), publish);
         Ok(())
     }
 
@@ -132,10 +139,16 @@ impl<T: Copy + Send> SpscConsumer<T> {
         // SAFETY: head > tail, so the producer published this slot (the
         // Acquire load of `head` ordered its write before this read) and
         // will not rewrite it until `tail` advances past it.
-        let item = unsafe { (*self.inner.slots[tail & self.mask].get()).assume_init_read() };
-        self.inner
-            .tail
-            .store(tail.wrapping_add(1), Ordering::Release);
+        let item = self.inner.slots[tail & self.mask].with(|p| unsafe { (*p).assume_init_read() });
+        // Seeded-bug hook: a Relaxed tail store lets the producer reuse
+        // the slot without ordering after this read (caught once the
+        // ring wraps around).
+        let release = if spal_check::bug_enabled("spsc-tail-store-relaxed") {
+            Ordering::Relaxed
+        } else {
+            Ordering::Release
+        };
+        self.inner.tail.store(tail.wrapping_add(1), release);
         Some(item)
     }
 

@@ -17,6 +17,32 @@ fn arb_table(max_routes: usize) -> impl Strategy<Value = RoutingTable> {
     })
 }
 
+/// Pinned regression from `prop_partition.proptest-regressions`
+/// (shrunk by upstream proptest before the runner was vendored; the
+/// vendored shim does not replay that file, so the case lives here as
+/// a plain test): a table holding only `0.0.0.0/30 → NextHop(0)` with
+/// ψ = 6 once mis-homed address 0 — the chosen bits all fell inside
+/// the /30's wildcard span, so the route had to replicate to every
+/// partition for the home lookup to match the full lookup.
+#[test]
+fn pinned_regression_single_short_prefix_psi6_addr0() {
+    let table = RoutingTable::from_entries([RouteEntry {
+        prefix: Prefix::new(0, 30).expect("valid /30"),
+        next_hop: NextHop(0),
+    }]);
+    let psi = 6;
+    let bits = select_bits(&table, eta_for(psi));
+    let part = Partitioning::new(&table, bits, psi);
+    let tables = part.forwarding_tables(&table);
+    let addr = 0u32;
+    let home = part.home_of(addr) as usize;
+    assert!(home < psi);
+    assert_eq!(
+        tables[home].longest_match(addr).map(|e| e.next_hop),
+        table.longest_match(addr).map(|e| e.next_hop),
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

@@ -52,23 +52,39 @@ fn fnv1a(name: &str) -> u64 {
     h
 }
 
+/// Cases to actually run: the config's count unless the
+/// `PROPTEST_CASES` environment variable overrides it — `0` or an
+/// unparsable value are ignored. CI cranks this up on the nightly
+/// schedule; locally it shortens red-green loops
+/// (`PROPTEST_CASES=8 cargo test`).
+fn effective_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(n) if n > 0 => n,
+            _ => config.cases,
+        },
+        Err(_) => config.cases,
+    }
+}
+
 /// Run `body` for every case, panicking (with the case number, so a
 /// failure is reproducible — generation is deterministic) on the first
-/// failure.
+/// failure. Case count honours the `PROPTEST_CASES` env var (see
+/// [`effective_cases`]); the per-case seed depends only on the test
+/// name and case index, so case `k` generates the same inputs whatever
+/// the total count.
 pub fn run_cases(
     name: &str,
     config: &ProptestConfig,
     mut body: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
 ) {
     let base = fnv1a(name);
-    for case in 0..config.cases {
+    let cases = effective_cases(config);
+    for case in 0..cases {
         let seed = base ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut rng = StdRng::seed_from_u64(seed);
         if let Err(e) = body(&mut rng) {
-            panic!(
-                "proptest '{name}' failed at case {case}/{}: {e}",
-                config.cases
-            );
+            panic!("proptest '{name}' failed at case {case}/{cases}: {e}");
         }
     }
 }
@@ -77,14 +93,40 @@ pub fn run_cases(
 mod tests {
     use super::*;
 
+    /// `PROPTEST_CASES` is process-global: tests touching it hold this
+    /// lock so the parallel test harness cannot interleave them.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn runs_exactly_cases_times() {
+        let _env = ENV_LOCK.lock().unwrap();
         let mut n = 0;
         run_cases("counter", &ProptestConfig::with_cases(17), |_| {
             n += 1;
             Ok(())
         });
         assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn env_var_overrides_case_count() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("PROPTEST_CASES", "5");
+        let mut n = 0;
+        run_cases("env-override", &ProptestConfig::with_cases(100), |_| {
+            n += 1;
+            Ok(())
+        });
+        // Junk and zero fall back to the config.
+        std::env::set_var("PROPTEST_CASES", "zero");
+        let mut m = 0;
+        run_cases("env-junk", &ProptestConfig::with_cases(3), |_| {
+            m += 1;
+            Ok(())
+        });
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(n, 5);
+        assert_eq!(m, 3);
     }
 
     #[test]
