@@ -24,8 +24,14 @@
 //!   not the absence of parallel speedup;
 //! * **churn degradation** — with the control plane republishing under
 //!   a paced update stream, throughput at the widest sweep point must
-//!   stay ≥ 0.5× of the churn-free run (≥ 0.35× on < 4 cores, where
-//!   the control thread steals the only core).
+//!   stay ≥ 0.55× of the churn-free run (≥ 0.4× on < 4 cores, where
+//!   the control thread steals the only core);
+//! * **churn apply** — the same stream against a Lulea snapshot, patched
+//!   chunk-granularly vs force-rebuilt (`delta_patching: false`): the
+//!   patch arm must engage (> 0 delta applies), beat the rebuild arm's
+//!   mean apply latency ≥ 2×, and keep apply p99 ≤ 50 ms — a
+//!   rebuild-per-publication or a grace wait back on the apply path
+//!   blows that ceiling.
 //!
 //! Exits non-zero on any violation so CI can run it:
 //! `bench_dataplane --quick`. Flags: `--packets N` (total per sweep
@@ -110,6 +116,12 @@ struct Row {
     final_mismatches: Option<u64>,
     apply_mean_us: Option<f64>,
     apply_max_us: Option<f64>,
+    apply_p50_us: Option<f64>,
+    apply_p95_us: Option<f64>,
+    apply_p99_us: Option<f64>,
+    delta_applies: Option<u64>,
+    rebuild_applies: Option<u64>,
+    delta_bytes_touched: Option<u64>,
     tail_p99_ns: f64,
 }
 
@@ -144,6 +156,12 @@ fn row_from(config: &str, report: &DataplaneReport, oracle: Option<u64>) -> Row 
         final_mismatches: churn.map(|c| c.final_mismatches),
         apply_mean_us: churn.map(|c| c.apply_us.mean_us()),
         apply_max_us: churn.map(|c| c.apply_us.max_us),
+        apply_p50_us: churn.map(|c| c.apply_us.p50_us()),
+        apply_p95_us: churn.map(|c| c.apply_us.p95_us()),
+        apply_p99_us: churn.map(|c| c.apply_us.p99_us()),
+        delta_applies: churn.map(|c| c.delta_applies),
+        rebuild_applies: churn.map(|c| c.rebuild_applies),
+        delta_bytes_touched: churn.map(|c| c.delta_bytes_touched),
         tail_p99_ns: report.tail.p99_ns,
     }
 }
@@ -167,6 +185,8 @@ fn write_json(path: &str, rows: &[Row], cores: usize) -> std::io::Result<()> {
              \"throughput_mpps\": {:.4}, \"wall_ms\": {:.3}, \"hit_rate\": {:.6}, \
              \"rem_share\": {:.6}, \"checksum_ok\": {}, \"spot_mismatches\": {}, \
              \"final_mismatches\": {}, \"apply_mean_us\": {}, \"apply_max_us\": {}, \
+             \"apply_p50_us\": {}, \"apply_p95_us\": {}, \"apply_p99_us\": {}, \
+             \"delta_applies\": {}, \"rebuild_applies\": {}, \"delta_bytes_touched\": {}, \
              \"tail_p99_ns\": {:.1}}}{}",
             r.config,
             r.workers,
@@ -181,6 +201,12 @@ fn write_json(path: &str, rows: &[Row], cores: usize) -> std::io::Result<()> {
             opt_json(&r.final_mismatches),
             opt_json(&r.apply_mean_us.map(|v| format!("{v:.2}"))),
             opt_json(&r.apply_max_us.map(|v| format!("{v:.2}"))),
+            opt_json(&r.apply_p50_us.map(|v| format!("{v:.2}"))),
+            opt_json(&r.apply_p95_us.map(|v| format!("{v:.2}"))),
+            opt_json(&r.apply_p99_us.map(|v| format!("{v:.2}"))),
+            opt_json(&r.delta_applies),
+            opt_json(&r.rebuild_applies),
+            opt_json(&r.delta_bytes_touched),
             r.tail_p99_ns,
             comma
         )?;
@@ -302,14 +328,23 @@ fn main() {
     let row = row_from(&format!("w{churn_workers}-churn"), &churn_report, None);
     let churn_stats = churn_report.churn.as_ref().expect("churn ran");
     println!(
-        "  {:12} {:>8.3} Mpps {:>10.1} ms | {} updates in {} pubs | apply mean {:.1} us max {:.1} us",
+        "  {:12} {:>8.3} Mpps {:>10.1} ms | {} updates in {} pubs | apply mean {:.1} us p99 {:.1} us max {:.1} us | {} patched / {} rebuilt",
         row.config,
         row.throughput_mpps,
         row.wall_ms,
         churn_stats.updates_applied,
         churn_stats.publications,
         churn_stats.apply_us.mean_us(),
+        churn_stats.apply_us.p99_us(),
         churn_stats.apply_us.max_us,
+        churn_stats.delta_applies,
+        churn_stats.rebuild_applies,
+    );
+    println!(
+        "  {:12} reclaim (off-path grace) mean {:.1} us max {:.1} us",
+        "",
+        churn_stats.reclaim_us.mean_us(),
+        churn_stats.reclaim_us.max_us,
     );
     if row.spot_mismatches > 0 {
         failures.push(format!(
@@ -323,8 +358,10 @@ fn main() {
             churn_stats.final_mismatches
         ));
     }
+    // Incremental patching keeps publications cheap, so the floor is
+    // tighter than the rebuild-era 0.5x / 0.35x.
     let degradation = row.throughput_mpps / mpps_by_workers[&churn_workers];
-    let churn_floor = if cores >= 4 { 0.5 } else { 0.35 };
+    let churn_floor = if cores >= 4 { 0.55 } else { 0.4 };
     let verdict = if degradation >= churn_floor {
         "ok"
     } else {
@@ -339,6 +376,102 @@ fn main() {
         ));
     }
     rows.push(row);
+
+    // Churn-apply gate: the same churn stream against a compressed
+    // static engine (Lulea), patched vs force-rebuilt. The rebuild arm
+    // is the control — both arms run on this host back to back, so the
+    // ratio is immune to machine speed. Chunk-granular patching must
+    // actually engage, must beat whole-fragment rebuilds on mean apply
+    // latency by 2x, and the patched arm's p99 must stay under an
+    // absolute ceiling that a rebuild-per-publication (or a grace wait
+    // back on the apply path) would blow through.
+    let lulea_cfg = DataplaneConfig {
+        workers: churn_workers,
+        algorithm: LpmAlgorithm::Lulea,
+        churn: churn_cfg.churn.clone(),
+        ..base_cfg.clone()
+    };
+    let patched_report = measure(&table, &traces, &lulea_cfg);
+    let patched_row = row_from(
+        &format!("w{churn_workers}-churn-lulea"),
+        &patched_report,
+        None,
+    );
+    let rebuild_cfg = DataplaneConfig {
+        delta_patching: false,
+        ..lulea_cfg.clone()
+    };
+    let rebuild_report = measure(&table, &traces, &rebuild_cfg);
+    let rebuild_row = row_from(
+        &format!("w{churn_workers}-churn-lulea-rebuild"),
+        &rebuild_report,
+        None,
+    );
+    for (arm, report, r) in [
+        ("lulea-patched", &patched_report, &patched_row),
+        ("lulea-rebuild", &rebuild_report, &rebuild_row),
+    ] {
+        let c = report.churn.as_ref().expect("churn ran");
+        println!(
+            "  {:22} apply mean {:>9.1} us p99 {:>9.1} us max {:>9.1} us | {} patched / {} rebuilt | {} B touched",
+            r.config,
+            c.apply_us.mean_us(),
+            c.apply_us.p99_us(),
+            c.apply_us.max_us,
+            c.delta_applies,
+            c.rebuild_applies,
+            c.delta_bytes_touched,
+        );
+        if r.spot_mismatches > 0 {
+            failures.push(format!(
+                "{arm}: {} spot-check mismatches",
+                r.spot_mismatches
+            ));
+        }
+        if c.final_mismatches > 0 {
+            failures.push(format!(
+                "{arm}: published table diverged from RIB in {} samples",
+                c.final_mismatches
+            ));
+        }
+    }
+    let patched_churn = patched_report.churn.as_ref().expect("churn ran");
+    let rebuild_churn = rebuild_report.churn.as_ref().expect("churn ran");
+    if patched_churn.delta_applies == 0 {
+        failures.push("lulea-patched: delta path never engaged (0 patched applies)".to_string());
+    }
+    if rebuild_churn.delta_applies != 0 {
+        failures.push(format!(
+            "lulea-rebuild: control arm took {} delta applies with patching disabled",
+            rebuild_churn.delta_applies
+        ));
+    }
+    let apply_speedup = rebuild_churn.apply_us.mean_us() / patched_churn.apply_us.mean_us();
+    const APPLY_SPEEDUP_FLOOR: f64 = 2.0;
+    const APPLY_P99_CEILING_US: f64 = 50_000.0;
+    let patched_p99 = patched_churn.apply_us.p99_us();
+    let verdict = if apply_speedup >= APPLY_SPEEDUP_FLOOR && patched_p99 <= APPLY_P99_CEILING_US {
+        "ok"
+    } else {
+        "FAIL"
+    };
+    println!(
+        "  churn apply: patched {apply_speedup:.1}x faster than rebuild \
+         (floor {APPLY_SPEEDUP_FLOOR}x), p99 {patched_p99:.1} us \
+         (ceiling {APPLY_P99_CEILING_US} us) {verdict}"
+    );
+    if apply_speedup < APPLY_SPEEDUP_FLOOR {
+        failures.push(format!(
+            "churn apply speedup {apply_speedup:.2}x < {APPLY_SPEEDUP_FLOOR}x vs rebuild arm"
+        ));
+    }
+    if patched_p99 > APPLY_P99_CEILING_US {
+        failures.push(format!(
+            "churn apply p99 {patched_p99:.1} us > {APPLY_P99_CEILING_US} us ceiling"
+        ));
+    }
+    rows.push(patched_row);
+    rows.push(rebuild_row);
 
     let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dataplane.json");
     let out = opts.out.as_deref().unwrap_or(default_out);

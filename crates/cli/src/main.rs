@@ -308,6 +308,7 @@ fn cmd_dataplane(args: &Args) -> Result<(), ArgError> {
         "lulea" => LpmAlgorithm::Lulea,
         "lc" => LpmAlgorithm::Lc { fill_factor: 0.25 },
         "dir24" => LpmAlgorithm::Dir24,
+        "multibit" => LpmAlgorithm::Multibit,
         other => return Err(ArgError(format!("unknown engine {other:?}"))),
     };
     let beta = args.get_or("beta", 4096usize)?;

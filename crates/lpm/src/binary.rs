@@ -214,6 +214,33 @@ impl Lpm for BinaryTrie {
         crate::run_quads(self, addrs, out, BinaryTrie::lookup_quad);
     }
 
+    /// The binary trie is natively incremental: each change replays
+    /// through [`BinaryTrie::insert`]/[`BinaryTrie::remove`], touching
+    /// only the path to the changed prefix.
+    fn apply_delta(
+        &mut self,
+        changed: &[spal_rib::Prefix],
+        rib: &spal_rib::RoutingTable,
+    ) -> Option<crate::DeltaStats> {
+        let before = self.nodes.len();
+        for &p in changed {
+            match rib.get(p) {
+                Some(nh) => {
+                    self.insert(p.bits(), p.len(), nh);
+                }
+                None => {
+                    self.remove(p.bits(), p.len());
+                }
+            }
+        }
+        Some(crate::DeltaStats {
+            prefixes_applied: changed.len(),
+            // Terminal-node rewrite per change plus the path nodes
+            // allocated or freed.
+            bytes_touched: (changed.len() + self.nodes.len().abs_diff(before)) * NODE_BYTES,
+        })
+    }
+
     fn storage_bytes(&self) -> usize {
         self.nodes.len() * NODE_BYTES
     }

@@ -9,8 +9,8 @@
 //! (> 32 Mbytes)" — the antithesis of SPAL's small-SRAM goal — while
 //! lookups run at memory speed.
 
-use crate::{prefetch_slice, CountedLookup, Lpm};
-use spal_rib::{NextHop, RoutingTable};
+use crate::{prefetch_slice, CountedLookup, DeltaStats, Lpm};
+use spal_rib::{NextHop, Prefix, RouteEntry, RoutingTable};
 
 /// First-level entries: 15-bit payload plus a "long" flag, as in the
 /// original design. We store them unpacked as `u16` + flag in the high
@@ -28,6 +28,10 @@ pub struct Dir24_8 {
     tbl24: Vec<u16>,
     /// Concatenated 256-entry second-level segments.
     tbl_long: Vec<u16>,
+    /// Segment slots freed by withdrawals, reused before growing
+    /// `tbl_long` — keeps sustained churn from exhausting the 15-bit
+    /// segment index space.
+    free_segs: Vec<u16>,
     routes: usize,
 }
 
@@ -96,6 +100,7 @@ impl Dir24_8 {
         Dir24_8 {
             tbl24,
             tbl_long,
+            free_segs: Vec::new(),
             routes: table.len(),
         }
     }
@@ -103,6 +108,132 @@ impl Dir24_8 {
     /// Number of 256-entry second-level segments.
     pub fn segment_count(&self) -> usize {
         self.tbl_long.len() / 256
+    }
+
+    /// 15-bit payload for a route (or the miss sentinel). Panics on
+    /// oversized next hops, mirroring [`Dir24_8::build`].
+    fn route_val(entry: Option<RouteEntry>) -> u16 {
+        match entry {
+            Some(e) => {
+                let nh = e.next_hop.0;
+                assert!(nh < MISS, "next hop {nh} exceeds the 15-bit payload");
+                nh
+            }
+            None => MISS,
+        }
+    }
+
+    /// Rewrite segment `seg` from scratch: seed with the sub-/24
+    /// `default`, then paint the >/24 routes shortest-first.
+    fn refill_segment(&mut self, seg: usize, default: u16, deep: &[RouteEntry]) {
+        let off = seg * 256;
+        self.tbl_long[off..off + 256].fill(default);
+        let mut deep: Vec<&RouteEntry> = deep.iter().collect();
+        deep.sort_by_key(|e| e.prefix.len());
+        for e in deep {
+            let nh = e.next_hop.0;
+            assert!(nh < MISS, "next hop {nh} exceeds the 15-bit payload");
+            let first = (e.prefix.bits() & 0xFF) as usize;
+            let count = 1usize << (32 - e.prefix.len());
+            self.tbl_long[off + first..off + first + count].fill(nh);
+        }
+    }
+
+    /// Reuse a freed segment or grow `tbl_long` by one.
+    fn alloc_segment(&mut self) -> usize {
+        if let Some(seg) = self.free_segs.pop() {
+            return seg as usize;
+        }
+        let seg = self.tbl_long.len() / 256;
+        assert!(seg < 1 << 15, "segment space exhausted");
+        self.tbl_long.resize(self.tbl_long.len() + 256, MISS);
+        seg
+    }
+
+    /// Patch for a changed prefix of length ≤ 24: recompute the ≤/24
+    /// best-match value for every covered `tbl24` slot and rewrite the
+    /// slots (re-seeding any spill segments in the range with their new
+    /// default). Returns bytes touched.
+    fn patch_shallow(&mut self, p: Prefix, rib: &RoutingTable) -> usize {
+        let start = (p.bits() >> 8) as usize;
+        let count = 1usize << (24 - p.len());
+        // The value the whole range inherits from at-or-above `p`, then
+        // longer contained routes painted shortest-first on top — the
+        // build's fill order, restricted to the affected range.
+        let base_val = Self::route_val(rib.best_cover(p.first_addr(), p.len()));
+        let mut vals = vec![base_val; count];
+        let mut contained: Vec<&RouteEntry> = rib
+            .range(p.first_addr(), p.last_addr())
+            .iter()
+            .filter(|e| e.prefix.len() > p.len() && e.prefix.len() <= 24)
+            .collect();
+        contained.sort_by_key(|e| e.prefix.len());
+        for e in contained {
+            let nh = e.next_hop.0;
+            assert!(nh < MISS, "next hop {nh} exceeds the 15-bit payload");
+            let s = ((e.prefix.bits() >> 8) as usize) - start;
+            let c = 1usize << (24 - e.prefix.len());
+            vals[s..s + c].fill(nh);
+        }
+        let mut bytes = 0;
+        for (i, &v) in vals.iter().enumerate() {
+            let slot = start + i;
+            if self.tbl24[slot] & LONG_FLAG != 0 {
+                let seg = (self.tbl24[slot] & !LONG_FLAG) as usize;
+                let lo = (slot as u32) << 8;
+                let deep: Vec<RouteEntry> = rib
+                    .range(lo, lo | 0xFF)
+                    .iter()
+                    .filter(|e| e.prefix.len() > 24)
+                    .copied()
+                    .collect();
+                if deep.is_empty() {
+                    // The deep routes under this /24 were withdrawn in
+                    // the same batch; drop the segment entirely.
+                    self.free_segs.push(seg as u16);
+                    self.tbl24[slot] = v;
+                    bytes += 2;
+                } else {
+                    self.refill_segment(seg, v, &deep);
+                    bytes += 2 * 256;
+                }
+            } else {
+                self.tbl24[slot] = v;
+                bytes += 2;
+            }
+        }
+        bytes
+    }
+
+    /// Patch for a changed prefix of length > 24: re-seed (or allocate,
+    /// or free) the one spill segment under its /24. Returns bytes
+    /// touched.
+    fn patch_deep(&mut self, p: Prefix, rib: &RoutingTable) -> usize {
+        let slot = (p.bits() >> 8) as usize;
+        let lo = (slot as u32) << 8;
+        let deep: Vec<RouteEntry> = rib
+            .range(lo, lo | 0xFF)
+            .iter()
+            .filter(|e| e.prefix.len() > 24)
+            .copied()
+            .collect();
+        let default = Self::route_val(rib.best_cover(lo, 24));
+        if deep.is_empty() {
+            if self.tbl24[slot] & LONG_FLAG != 0 {
+                self.free_segs.push(self.tbl24[slot] & !LONG_FLAG);
+            }
+            self.tbl24[slot] = default;
+            2
+        } else {
+            let seg = if self.tbl24[slot] & LONG_FLAG != 0 {
+                (self.tbl24[slot] & !LONG_FLAG) as usize
+            } else {
+                self.alloc_segment()
+            };
+            self.tbl24[slot] = LONG_FLAG | seg as u16;
+            self.refill_segment(seg, default, &deep);
+            2 + 2 * 256
+        }
     }
 
     /// Number of routes the structure was built from.
@@ -176,6 +307,31 @@ impl Lpm for Dir24_8 {
                 }
             };
         }
+    }
+
+    /// Direct range-write patching — the update path DIR-24-8 was
+    /// designed for. Each changed prefix rewrites only the `tbl24`
+    /// slots its range covers (≤ /24) or the one spill segment under
+    /// its /24 (> /24), recomputing values from the post-update RIB
+    /// fragment. Fallback rule: prefixes shorter than /8 cover > 2^16
+    /// slots, at which point a patch approaches rebuild cost — decline
+    /// and let the caller rebuild.
+    fn apply_delta(&mut self, changed: &[Prefix], rib: &RoutingTable) -> Option<DeltaStats> {
+        if changed.iter().any(|p| p.len() < 8) {
+            return None;
+        }
+        let mut stats = DeltaStats::default();
+        for &p in changed {
+            let bytes = if p.len() <= 24 {
+                self.patch_shallow(p, rib)
+            } else {
+                self.patch_deep(p, rib)
+            };
+            stats.prefixes_applied += 1;
+            stats.bytes_touched += bytes;
+        }
+        self.routes = rib.len();
+        Some(stats)
     }
 
     fn storage_bytes(&self) -> usize {
@@ -283,5 +439,60 @@ mod tests {
     fn oversized_next_hop_rejected() {
         let rt = table(&[("10.0.0.0/8", 0x7FFF)]);
         let _ = Dir24_8::build(&rt);
+    }
+
+    #[test]
+    fn delta_patch_matches_rebuild() {
+        let mut rt = table(&[("10.0.0.0/8", 1), ("10.1.2.0/24", 2), ("10.1.2.128/25", 3)]);
+        let mut d = Dir24_8::build(&rt);
+        let steps: &[(&str, Option<u16>)] = &[
+            ("10.1.0.0/16", Some(9)),     // announce between existing routes
+            ("10.1.2.128/25", None),      // withdraw a deep route
+            ("10.1.2.7/32", Some(4)),     // announce a deep route
+            ("10.1.2.0/24", Some(8)),     // re-target under the segment
+            ("10.1.2.7/32", None),        // last deep route gone: segment freed
+            ("10.0.0.0/8", None),         // withdraw the covering route
+            ("192.168.4.64/26", Some(5)), // fresh deep route reuses the freed segment
+        ];
+        for &(s, nh) in steps {
+            let p: Prefix = s.parse().unwrap();
+            match nh {
+                Some(nh) => rt.insert(RouteEntry {
+                    prefix: p,
+                    next_hop: NextHop(nh),
+                }),
+                None => {
+                    rt.remove(p);
+                }
+            }
+            let stats = d.apply_delta(&[p], &rt).expect("patchable");
+            assert!(stats.bytes_touched > 0);
+            let fresh = Dir24_8::build(&rt);
+            for e in rt.entries() {
+                for addr in [e.prefix.first_addr(), e.prefix.last_addr()] {
+                    for probe in [addr.wrapping_sub(1), addr, addr.wrapping_add(1)] {
+                        assert_eq!(d.lookup(probe), fresh.lookup(probe), "probe {probe:#010x}");
+                    }
+                }
+            }
+            assert_eq!(d.route_count(), rt.len());
+        }
+        // The freed segment must have been reused, not leaked.
+        assert_eq!(d.segment_count(), 1);
+    }
+
+    #[test]
+    fn delta_declines_short_prefixes() {
+        let rt = table(&[("0.0.0.0/0", 1)]);
+        let mut d = Dir24_8::build(&rt);
+        assert!(d
+            .apply_delta(&["0.0.0.0/0".parse().unwrap()], &rt)
+            .is_none());
+        assert!(d
+            .apply_delta(&["10.0.0.0/7".parse().unwrap()], &rt)
+            .is_none());
+        assert!(d
+            .apply_delta(&["10.0.0.0/8".parse().unwrap()], &rt)
+            .is_some());
     }
 }

@@ -367,6 +367,30 @@ impl Lpm for DpTrie {
         crate::run_quads(self, addrs, out, DpTrie::lookup_quad);
     }
 
+    /// The DP trie is natively incremental (\[8\]'s whole point): each
+    /// change replays through [`DpTrie::insert`]/[`DpTrie::remove`].
+    fn apply_delta(
+        &mut self,
+        changed: &[Prefix],
+        rib: &spal_rib::RoutingTable,
+    ) -> Option<crate::DeltaStats> {
+        let before = self.node_count();
+        for &p in changed {
+            match rib.get(p) {
+                Some(nh) => {
+                    self.insert(p, nh);
+                }
+                None => {
+                    self.remove(p);
+                }
+            }
+        }
+        Some(crate::DeltaStats {
+            prefixes_applied: changed.len(),
+            bytes_touched: (changed.len() + self.node_count().abs_diff(before)) * DP_NODE_BYTES,
+        })
+    }
+
     fn storage_bytes(&self) -> usize {
         self.node_count() * DP_NODE_BYTES
     }

@@ -13,8 +13,9 @@
 //! correct (see `lookup_counted`). Branching never inspects bits past the
 //! shortest string in a range, so no leaf prefix can be skipped over.
 
-use crate::{CountedLookup, Lpm, BATCH_LANES};
+use crate::{CountedLookup, DeltaStats, Lpm, BATCH_LANES};
 use spal_rib::{NextHop, Prefix, RoutingTable};
+use std::collections::{HashMap, HashSet};
 
 /// Modelled bytes per trie node: branch/skip/address packed in 32 bits.
 pub const NODE_BYTES: usize = 4;
@@ -65,6 +66,15 @@ pub struct LcTrie {
     prefixes: Vec<PrefixEntry>,
     fill_factor: f64,
     routes: usize,
+    /// Control-plane index: internal prefix → `prefixes` slot. Retained
+    /// for incremental patching (chain resolution); not part of the
+    /// modelled SRAM footprint.
+    internal_idx: HashMap<Prefix, u32>,
+    /// Distinct leaves currently reachable from the node array. Patched
+    /// rebuilds append base segments and strand the old copies, so
+    /// `base.len() - live_base` is the garbage the next full rebuild
+    /// reclaims.
+    live_base: usize,
 }
 
 impl LcTrie {
@@ -150,12 +160,20 @@ impl LcTrie {
             .collect();
         base.sort_by_key(|e| e.bits);
 
+        let internal_idx: HashMap<Prefix, u32> = internal
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, _))| (p, i as u32))
+            .collect();
+        let live_base = base.len();
         let mut trie = LcTrie {
             nodes: Vec::new(),
             base,
             prefixes,
             fill_factor,
             routes,
+            internal_idx,
+            live_base,
         };
         if trie.base.is_empty() {
             trie.nodes.push(Node {
@@ -322,6 +340,305 @@ impl LcTrie {
         self.fill_factor
     }
 
+    /// Deepest internal ancestor of `p` currently in the prefix vector.
+    fn chain_of(&self, p: Prefix) -> u32 {
+        let mut cur = p;
+        while let Some(parent) = cur.parent() {
+            cur = parent;
+            if let Some(&i) = self.internal_idx.get(&cur) {
+                return i;
+            }
+        }
+        NONE
+    }
+
+    /// Bits of some leaf in `node_idx`'s subtree — every leaf (including
+    /// empty-slot backers, which are drawn from the same build range)
+    /// agrees with the subtree's common prefix, so any one tells the
+    /// patch path where the subtree lives in address space.
+    fn sample_bits(&self, mut idx: usize) -> u32 {
+        loop {
+            let n = self.nodes[idx];
+            if n.branch == 0 {
+                return self.base[n.adr as usize].bits;
+            }
+            idx = n.adr as usize;
+        }
+    }
+
+    /// Collect the distinct live leaves reachable from `node_idx`.
+    /// Empty-slot backers and stale pre-patch copies repeat a (bits, len)
+    /// key, so dedup by key rather than by base index.
+    fn collect_leaves(
+        &self,
+        node_idx: usize,
+        out: &mut Vec<(u32, u8)>,
+        seen: &mut HashSet<(u32, u8)>,
+    ) {
+        let node = self.nodes[node_idx];
+        if node.branch == 0 {
+            if node.adr == NONE {
+                return;
+            }
+            let e = self.base[node.adr as usize];
+            if seen.insert((e.bits, e.len)) {
+                out.push((e.bits, e.len));
+            }
+            return;
+        }
+        for c in 0..(1usize << node.branch) {
+            self.collect_leaves(node.adr as usize + c, out, seen);
+        }
+    }
+
+    /// Dirty-subtrie rebuild: re-derive `node_idx`'s subtree from its
+    /// live leaves (±`add`/`remove`), writing the leaves as a fresh
+    /// contiguous base segment and splicing the new child nodes onto the
+    /// shared arena. Old nodes and base entries are stranded as garbage;
+    /// stale base copies stay valid for the empty-slot backers elsewhere
+    /// that still reference them (their bits and chains are unchanged,
+    /// and a backed slot can never full-match its backer). Next hops are
+    /// refreshed from `rib` so stale copies collected through backers
+    /// cannot resurrect old targets.
+    fn rebuild_at(
+        &mut self,
+        node_idx: usize,
+        pos: u8,
+        rib: &RoutingTable,
+        add: Option<Prefix>,
+        remove: Option<Prefix>,
+    ) -> Option<usize> {
+        let mut seen = HashSet::new();
+        let mut keys = Vec::new();
+        self.collect_leaves(node_idx, &mut keys, &mut seen);
+        let pre = keys.len();
+        if let Some(p) = add {
+            if seen.insert((p.bits(), p.len())) {
+                keys.push((p.bits(), p.len()));
+            }
+        }
+        if let Some(p) = remove {
+            keys.retain(|&(b, l)| (b, l) != (p.bits(), p.len()));
+        }
+        let mut entries: Vec<BaseEntry> = Vec::new();
+        for (b, l) in keys {
+            let q = Prefix::new(b, l).expect("stored prefixes are canonical");
+            if let Some(nh) = rib.get(q) {
+                entries.push(BaseEntry {
+                    bits: b,
+                    len: l,
+                    next_hop: nh,
+                    chain: self.chain_of(q),
+                });
+            }
+        }
+        entries.sort_by_key(|e| e.bits);
+        let n = entries.len();
+        if n == 0 && node_idx != 0 {
+            // Every distinct leaf under this node was a stale backer copy
+            // of an already-withdrawn prefix (the rib refresh dropped them
+            // all). Only the root may become an empty leaf; anywhere else
+            // the slot must keep backing an ancestor match we cannot
+            // derive locally, so decline and let the caller rebuild.
+            return None;
+        }
+        self.live_base = self.live_base + n - pre.min(self.live_base);
+        let first = self.base.len();
+        self.base.extend(entries);
+        let nodes_before = self.nodes.len();
+        if n == 0 {
+            self.nodes[node_idx] = Node {
+                branch: 0,
+                skip: 0,
+                adr: NONE,
+            };
+        } else {
+            self.subdivide(node_idx, first, n, pos);
+        }
+        Some(NODE_BYTES * (1 + self.nodes.len() - nodes_before) + BASE_BYTES * n)
+    }
+
+    /// Insert (or re-target) the leaf prefix `p`. The walk descends while
+    /// `p` agrees with each subtree's common prefix and is long enough to
+    /// index a full branch slot; an empty slot takes the new leaf
+    /// directly, anything structural falls back to [`LcTrie::rebuild_at`]
+    /// on the deepest covering node.
+    fn insert_leaf(&mut self, p: Prefix, rib: &RoutingTable) -> Option<usize> {
+        let nh = rib.get(p)?;
+        let root = self.nodes[0];
+        if root.branch == 0 {
+            if root.adr == NONE {
+                let bi = self.base.len() as u32;
+                self.base.push(BaseEntry {
+                    bits: p.bits(),
+                    len: p.len(),
+                    next_hop: nh,
+                    chain: self.chain_of(p),
+                });
+                self.nodes[0] = Node {
+                    branch: 0,
+                    skip: 0,
+                    adr: bi,
+                };
+                self.live_base += 1;
+                return Some(NODE_BYTES + BASE_BYTES);
+            }
+            let e = self.base[root.adr as usize];
+            if (e.bits, e.len) == (p.bits(), p.len()) {
+                self.base[root.adr as usize].next_hop = nh;
+                return Some(BASE_BYTES);
+            }
+            return self.rebuild_at(0, 0, rib, Some(p), None);
+        }
+        let mut node_idx = 0usize;
+        let mut pos = 0u8;
+        loop {
+            let node = self.nodes[node_idx];
+            let sample = self.sample_bits(node_idx);
+            let bp = pos + node.skip;
+            let agree = ((p.bits() ^ sample).leading_zeros() as u8).min(32);
+            if agree < bp || (p.len() as u16) < bp as u16 + node.branch as u16 {
+                // Diverges inside the skip, or too short to occupy a
+                // single slot: re-derive this subtree with `p` included
+                // (subdivide re-caps the branch at the new shortest).
+                return self.rebuild_at(node_idx, pos, rib, Some(p), None);
+            }
+            let shift = 32 - bp as u32 - node.branch as u32;
+            let idx = ((p.bits() >> shift) as usize) & ((1usize << node.branch) - 1);
+            let child = node.adr as usize + idx;
+            let cnode = self.nodes[child];
+            if cnode.branch != 0 {
+                node_idx = child;
+                pos = bp + node.branch;
+                continue;
+            }
+            let e = self.base[cnode.adr as usize];
+            let epat = ((e.bits >> shift) as usize) & ((1usize << node.branch) - 1);
+            if epat != idx {
+                // Empty-backed slot: the new leaf claims it outright.
+                // Existing empty-slot backings stay correct — `p` adds no
+                // internal prefix, and addresses matching `p` now route
+                // to this very slot.
+                let bi = self.base.len() as u32;
+                self.base.push(BaseEntry {
+                    bits: p.bits(),
+                    len: p.len(),
+                    next_hop: nh,
+                    chain: self.chain_of(p),
+                });
+                self.nodes[child] = Node {
+                    branch: 0,
+                    skip: 0,
+                    adr: bi,
+                };
+                self.live_base += 1;
+                return Some(NODE_BYTES + BASE_BYTES);
+            }
+            if (e.bits, e.len) == (p.bits(), p.len()) {
+                self.base[cnode.adr as usize].next_hop = nh;
+                return Some(BASE_BYTES);
+            }
+            // Slot already holds a different leaf: split via subtree
+            // rebuild at the covering node.
+            return self.rebuild_at(node_idx, pos, rib, Some(p), None);
+        }
+    }
+
+    /// Withdraw the leaf prefix `p`, rebuilding its parent node's subtree
+    /// without it. Absent prefixes (including walks that diverge inside
+    /// skipped bits) are a no-op.
+    fn withdraw_leaf(&mut self, p: Prefix, rib: &RoutingTable) -> Option<usize> {
+        let root = self.nodes[0];
+        if root.branch == 0 {
+            if root.adr != NONE {
+                let e = self.base[root.adr as usize];
+                if (e.bits, e.len) == (p.bits(), p.len()) {
+                    self.nodes[0] = Node {
+                        branch: 0,
+                        skip: 0,
+                        adr: NONE,
+                    };
+                    self.live_base -= 1;
+                    return Some(NODE_BYTES);
+                }
+            }
+            return Some(0);
+        }
+        let mut node_idx = 0usize;
+        let mut pos = 0u8;
+        loop {
+            let node = self.nodes[node_idx];
+            let bp = pos + node.skip;
+            if (p.len() as u16) < bp as u16 + node.branch as u16 {
+                return Some(0); // cannot be a leaf under this branch
+            }
+            let shift = 32 - bp as u32 - node.branch as u32;
+            let idx = ((p.bits() >> shift) as usize) & ((1usize << node.branch) - 1);
+            let child = node.adr as usize + idx;
+            let cnode = self.nodes[child];
+            if cnode.branch != 0 {
+                node_idx = child;
+                pos = bp + node.branch;
+                continue;
+            }
+            let e = self.base[cnode.adr as usize];
+            if (e.bits, e.len) == (p.bits(), p.len()) {
+                return self.rebuild_at(node_idx, pos, rib, None, Some(p));
+            }
+            return Some(0);
+        }
+    }
+
+    /// Patch one changed prefix, or `None` to demand a full rebuild.
+    /// Declines on every leaf/internal classification flip — those move
+    /// prefixes between the base and prefix vectors and re-thread chains,
+    /// which patch granularity cannot express.
+    fn patch_prefix(&mut self, p: Prefix, rib: &RoutingTable) -> Option<usize> {
+        let now = rib.get(p);
+        let was_internal = self.internal_idx.contains_key(&p);
+        match now {
+            Some(nh) if was_internal => {
+                if !rib.has_strict_descendant_except(p, &[]) {
+                    return None; // internal → leaf flip
+                }
+                let i = self.internal_idx[&p] as usize;
+                self.prefixes[i].next_hop = nh;
+                Some(PREFIX_BYTES)
+            }
+            None if was_internal => None, // internal withdraw re-threads chains
+            Some(_) => {
+                if rib.has_strict_descendant_except(p, &[]) {
+                    return None; // new internal, or leaf → internal flip
+                }
+                // A stored strict ancestor that is not yet internal must
+                // become one now that `p` sits beneath it.
+                let mut anc = p;
+                while let Some(a) = anc.parent() {
+                    anc = a;
+                    if rib.get(anc).is_some() && !self.internal_idx.contains_key(&anc) {
+                        return None;
+                    }
+                }
+                self.insert_leaf(p, rib)
+            }
+            None => {
+                // A stored internal ancestor left without any strict
+                // descendant must flip back to a leaf.
+                let mut anc = p;
+                while let Some(a) = anc.parent() {
+                    anc = a;
+                    if self.internal_idx.contains_key(&anc)
+                        && rib.get(anc).is_some()
+                        && !rib.has_strict_descendant_except(anc, &[])
+                    {
+                        return None;
+                    }
+                }
+                self.withdraw_leaf(p, rib)
+            }
+        }
+    }
+
     /// Mean depth (trie nodes visited) over all leaves — the quantity
     /// level compression minimises.
     pub fn mean_leaf_depth(&self) -> f64 {
@@ -378,7 +695,27 @@ impl Lpm for LcTrie {
         crate::run_quads(self, addrs, out, LcTrie::lookup_quad);
     }
 
+    /// Dirty-subtrie patching. Leaf announces, withdrawals and
+    /// re-targets rebuild only the deepest covering node's subtree;
+    /// internal re-targets write one prefix-vector slot. Classification
+    /// flips and garbage buildup (stranded base segments exceeding the
+    /// live leaf count) decline, handing the caller a full rebuild.
+    fn apply_delta(&mut self, changed: &[Prefix], rib: &RoutingTable) -> Option<DeltaStats> {
+        if self.base.len() > (2 * self.live_base).max(64) {
+            return None; // stranded segments dominate: rebuild reclaims them
+        }
+        let mut stats = DeltaStats::default();
+        for &p in changed {
+            stats.bytes_touched += self.patch_prefix(p, rib)?;
+            stats.prefixes_applied += 1;
+        }
+        self.routes = rib.len();
+        Some(stats)
+    }
+
     fn storage_bytes(&self) -> usize {
+        // Includes stranded patch garbage: it occupies SRAM until the
+        // next full rebuild reclaims it.
         self.nodes.len() * NODE_BYTES
             + self.base.len() * BASE_BYTES
             + self.prefixes.len() * PREFIX_BYTES
@@ -607,6 +944,97 @@ mod tests {
     #[should_panic]
     fn zero_fill_factor_rejected() {
         let _ = LcTrie::build_with_fill(&RoutingTable::new(), 0.0);
+    }
+
+    #[test]
+    fn delta_patch_matches_rebuild() {
+        let mut rt = table(&[
+            ("10.0.0.0/8", 1),
+            ("10.1.0.0/16", 2),
+            ("10.1.2.0/24", 3),
+            ("10.9.0.0/16", 4),
+            ("192.168.0.0/24", 5),
+        ]);
+        let mut trie = LcTrie::build(&rt);
+        // (prefix, next hop or withdraw, patch must succeed)
+        let steps: &[(&str, Option<u16>, bool)] = &[
+            ("10.9.0.0/16", Some(14), true),   // leaf re-target in place
+            ("10.0.0.0/8", Some(11), true),    // internal re-target in place
+            ("192.168.1.0/24", Some(6), true), // new leaf near a sibling
+            ("172.16.0.0/12", Some(7), true),  // new leaf in fresh space
+            ("192.168.1.0/24", None, true),    // withdraw rebuilds the parent
+            ("10.9.0.0/16", None, true),       // withdraw a build-time leaf
+            ("10.1.0.0/16", None, false),      // internal withdraw declines
+            ("10.1.2.9/32", Some(8), false),   // flips 10.1.2.0/24 to internal
+            ("10.1.2.9/32", None, false),      // flips it back: also declines
+        ];
+        for &(s, nh, expect_patch) in steps {
+            let p: Prefix = s.parse().unwrap();
+            match nh {
+                Some(nh) => {
+                    rt.insert(RouteEntry {
+                        prefix: p,
+                        next_hop: NextHop(nh),
+                    });
+                }
+                None => {
+                    rt.remove(p);
+                }
+            }
+            match trie.apply_delta(&[p], &rt) {
+                Some(stats) => {
+                    assert!(expect_patch, "expected decline after {s}");
+                    assert_eq!(stats.prefixes_applied, 1);
+                }
+                None => {
+                    assert!(!expect_patch, "expected patch after {s}");
+                    trie = LcTrie::build(&rt); // the contract: caller rebuilds
+                }
+            }
+            let fresh = LcTrie::build(&rt);
+            let mut probes: Vec<u32> = vec![0, 1, u32::MAX, 0x0A01_0203, 0xC0A8_0105, 0xAC10_0001];
+            for e in rt.entries() {
+                for a in [e.prefix.first_addr(), e.prefix.last_addr()] {
+                    probes.push(a);
+                    probes.push(a.wrapping_sub(1));
+                    probes.push(a.wrapping_add(1));
+                }
+            }
+            for &a in &probes {
+                assert_eq!(
+                    trie.lookup(a),
+                    fresh.lookup(a),
+                    "patched vs rebuilt at {a:#010x} after {s}"
+                );
+                assert_eq!(
+                    trie.lookup(a),
+                    rt.longest_match(a).map(|e| e.next_hop),
+                    "patched vs oracle at {a:#010x} after {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_declines_classification_flips() {
+        let rt0 = table(&[("10.0.0.0/8", 1), ("10.1.0.0/16", 2)]);
+        let mut trie = LcTrie::build(&rt0);
+        // Withdrawing the /16 leaves the internal /8 without descendants.
+        let mut rt = rt0.clone();
+        rt.remove("10.1.0.0/16".parse().unwrap());
+        assert!(trie
+            .apply_delta(&["10.1.0.0/16".parse().unwrap()], &rt)
+            .is_none());
+
+        // Announcing below the leaf /16 flips it to internal.
+        let mut trie = LcTrie::build(&rt0);
+        let mut rt = rt0.clone();
+        let deep: Prefix = "10.1.2.0/24".parse().unwrap();
+        rt.insert(RouteEntry {
+            prefix: deep,
+            next_hop: NextHop(3),
+        });
+        assert!(trie.apply_delta(&[deep], &rt).is_none());
     }
 
     #[test]

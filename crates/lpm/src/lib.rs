@@ -22,6 +22,7 @@
 //! structure occupies under the paper's byte models.
 
 pub mod binary;
+pub mod delta;
 pub mod dir24;
 pub mod dp;
 pub mod lctrie;
@@ -29,7 +30,9 @@ pub mod lulea;
 pub mod model;
 pub mod multibit;
 
-use spal_rib::NextHop;
+pub use delta::DeltaStats;
+
+use spal_rib::{NextHop, Prefix, RoutingTable};
 
 /// Result of an instrumented lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +122,28 @@ pub trait Lpm {
         for (o, &a) in out.iter_mut().zip(addrs) {
             *o = self.lookup_counted(a);
         }
+    }
+
+    /// Patch the structure in place after a batch of route changes,
+    /// touching only the regions `changed` covers.
+    ///
+    /// `rib` is the **post-update** routing table the structure must end
+    /// up equivalent to, and `changed` lists every prefix announced,
+    /// withdrawn or re-targeted since the structure last matched `rib`.
+    /// On success the engine is lookup-equivalent (same next hops, though
+    /// not necessarily the same access counts — patching does not
+    /// garbage-collect emptied spill segments or chunks) to a fresh
+    /// build from `rib`, and the returned [`DeltaStats`] says how much
+    /// memory the patch rewrote.
+    ///
+    /// Returning `None` means the engine declined to patch — either it
+    /// has no incremental path at all (the default) or a fallback rule
+    /// fired (accumulated garbage, a structural change the patch
+    /// granularity cannot express). After `None` the structure's state
+    /// is unspecified; the caller must rebuild it from `rib`.
+    fn apply_delta(&mut self, changed: &[Prefix], rib: &RoutingTable) -> Option<DeltaStats> {
+        let _ = (changed, rib);
+        None
     }
 
     /// Bytes of SRAM the structure occupies under the paper's storage

@@ -101,6 +101,58 @@ impl RoutingTable {
         self.entries.iter().map(|e| e.prefix)
     }
 
+    /// The next hop stored for exactly `prefix`, if present. O(log n).
+    pub fn get(&self, prefix: Prefix) -> Option<NextHop> {
+        self.entries
+            .binary_search_by_key(&(prefix.bits(), prefix.len()), |e| {
+                (e.prefix.bits(), e.prefix.len())
+            })
+            .ok()
+            .map(|i| self.entries[i].next_hop)
+    }
+
+    /// All routes whose canonical bits fall inside `[lo, hi]`, as a
+    /// contiguous sorted slice. O(log n) to locate. For a prefix-aligned
+    /// query range this is every route *contained* in the range plus, when
+    /// a shorter route starts exactly at `lo`, routes containing it —
+    /// aligned ranges cannot partially overlap, so callers filter by
+    /// length.
+    pub fn range(&self, lo: u32, hi: u32) -> &[RouteEntry] {
+        let start = self.entries.partition_point(|e| e.prefix.bits() < lo);
+        let end = self.entries.partition_point(|e| e.prefix.bits() <= hi);
+        &self.entries[start..end]
+    }
+
+    /// Longest match for `addr` among routes no longer than `max_len`
+    /// bits. O(max_len · log n) — walks candidate prefix lengths from
+    /// most to least specific. Used by the incremental patch paths to
+    /// recompute the "default" value a region inherits from above.
+    pub fn best_cover(&self, addr: u32, max_len: u8) -> Option<RouteEntry> {
+        for len in (0..=max_len).rev() {
+            let p = Prefix::new(addr, len).expect("masked prefix is valid");
+            if let Some(nh) = self.get(p) {
+                return Some(RouteEntry {
+                    prefix: p,
+                    next_hop: nh,
+                });
+            }
+        }
+        None
+    }
+
+    /// Whether any route strictly contained in `prefix` (longer, inside
+    /// its range) exists, other than routes in `except`. Used by the
+    /// LC-trie patch path to detect leaf↔internal classification flips.
+    pub fn has_strict_descendant_except(&self, prefix: Prefix, except: &[Prefix]) -> bool {
+        self.range(prefix.first_addr(), prefix.last_addr())
+            .iter()
+            .any(|e| {
+                e.prefix.len() > prefix.len()
+                    && prefix.contains(e.prefix)
+                    && !except.contains(&e.prefix)
+            })
+    }
+
     /// Reference longest-prefix match: scans every route. O(n) per lookup,
     /// used as the oracle the trie implementations are tested against.
     pub fn longest_match(&self, addr: u32) -> Option<RouteEntry> {
