@@ -312,6 +312,32 @@ pub fn stress_workload(prefixes: usize, packets: usize, seed: u64) -> (RoutingTa
     (table, trace)
 }
 
+/// The dataplane-runtime workload: the same backbone-sized synthetic
+/// table as [`stress_workload`], but a destination stream with
+/// router-realistic locality — the paper's `B_L` preset (32k-flow pool,
+/// Zipf α 1.12, 35% packet trains), its *least* cacheable trace.
+///
+/// [`stress_workload`]'s near-uniform stream (α 0.05 over a pool wider
+/// than the table) is deliberately cache-adversarial: against a
+/// 4096-block LR-cache it probes at a ~0.003 hit rate, so a dataplane
+/// run over it measures only the miss path. That is the right stream
+/// for raw LPM engines — and the wrong one for the SPAL runtime, whose
+/// entire design (paper §2) banks on the flow locality refs [5, 6]
+/// measured on real links. The dataplane benchmark keeps one stress
+/// row as the historical baseline and runs everything else on this.
+pub fn dataplane_workload(prefixes: usize, packets: usize, seed: u64) -> (RoutingTable, Trace) {
+    let table = synth::synthesize(&synth::SynthConfig::sized(prefixes, 0xB0B));
+    let trace = dataplane_trace(&table, packets, seed);
+    (table, trace)
+}
+
+/// The [`dataplane_workload`] trace over an existing table —
+/// `bench_dataplane` builds the (expensive) 600k-prefix table once and
+/// generates both the stress and the locality stream over it.
+pub fn dataplane_trace(table: &RoutingTable, packets: usize, seed: u64) -> Trace {
+    preset(PresetName::BL).generate(table, packets, seed)
+}
+
 /// Build engines from forwarding-table algorithms, as trait objects the
 /// replay workers can share.
 pub fn build_engines(

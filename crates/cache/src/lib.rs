@@ -31,8 +31,8 @@ pub mod victim;
 
 pub use addr::CacheAddr;
 pub use lr::{
-    FillOutcome, IndexScheme, LrCache, LrCache6, LrCacheConfig, MixMode, Origin, ProbeResult,
-    ReserveOutcome,
+    BatchProbe, FillOutcome, IndexScheme, LrCache, LrCache6, LrCacheConfig, MixMode, Origin,
+    ProbeResult, ReserveOutcome,
 };
 pub use policy::ReplacementPolicy;
 pub use stats::CacheStats;

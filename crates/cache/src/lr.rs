@@ -102,6 +102,24 @@ pub enum ProbeResult<V> {
     Miss,
 }
 
+/// Outcome of one lane of [`LrCache::probe_batch`]: a probe with the
+/// miss-path reservation folded in, so a vector-mode caller gets the
+/// complete cache verdict for every packet in one pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchProbe<V> {
+    /// Complete entry found; the packet is satisfied immediately.
+    Hit { value: V, origin: Origin },
+    /// A reserved entry exists but its reply has not arrived; the packet
+    /// joins the entry's waiting list.
+    Waiting,
+    /// Miss, and a W-bit block now records the address: the caller owns
+    /// issuing the lookup (and any followers will see [`Self::Waiting`]).
+    MissReserved,
+    /// Miss, but the set was entirely waiting so nothing was recorded:
+    /// the packet proceeds uncached.
+    MissUnrecorded,
+}
+
 /// Outcome of reserving a block on a miss (early recording).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReserveOutcome {
@@ -293,6 +311,57 @@ impl<V: Copy + Eq + std::fmt::Debug, A: CacheAddr> LrCache<V, A> {
         }
         self.stats.misses += 1;
         ProbeResult::Miss
+    }
+
+    /// Hint the hardware prefetcher at the ways of `addr`'s set. With
+    /// β = 4K blocks the way array is ~130 KiB — far beyond L1 — so a
+    /// vector-mode probe pass that announces set N+`lookahead` while
+    /// scanning set N hides most of the L2/L3 latency. No-op off x86_64.
+    #[inline]
+    fn prefetch_set(&self, addr: A) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let start = self.set_of(addr) * self.config.assoc;
+            // SAFETY: `start` indexes into `ways` (set_of masks to a
+            // valid set); prefetch has no memory effects regardless.
+            unsafe {
+                std::arch::x86_64::_mm_prefetch(
+                    self.ways.as_ptr().add(start) as *const i8,
+                    std::arch::x86_64::_MM_HINT_T0,
+                );
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = addr;
+    }
+
+    /// Batched probe pass with software prefetch: for each address, a
+    /// [`LrCache::probe`] with the miss-path [`LrCache::reserve`] folded
+    /// in. Appends one [`BatchProbe`] per address onto `out`, in order.
+    ///
+    /// The per-lane cache-op sequence is *exactly* probe-then-reserve —
+    /// the same calls, in the same order, a scalar caller would make —
+    /// so clocks, statistics and replacement state end up bit-identical
+    /// to the scalar path. The win is the prefetch distance: lane i
+    /// announces lane i+8's set before touching lane i's, so the set
+    /// scans run out of L1 instead of stalling on L2/L3.
+    pub fn probe_batch(&mut self, addrs: &[A], out: &mut Vec<BatchProbe<V>>) {
+        const PREFETCH_DIST: usize = 8;
+        out.reserve(addrs.len());
+        for (i, &addr) in addrs.iter().enumerate() {
+            if let Some(&ahead) = addrs.get(i + PREFETCH_DIST) {
+                self.prefetch_set(ahead);
+            }
+            let lane = match self.probe(addr) {
+                ProbeResult::Hit { value, origin } => BatchProbe::Hit { value, origin },
+                ProbeResult::HitWaiting => BatchProbe::Waiting,
+                ProbeResult::Miss => match self.reserve(addr) {
+                    ReserveOutcome::Reserved => BatchProbe::MissReserved,
+                    ReserveOutcome::SetFullOfWaiting => BatchProbe::MissUnrecorded,
+                },
+            };
+            out.push(lane);
+        }
     }
 
     /// Reserve a waiting block for `addr` after a miss (early recording).
@@ -846,6 +915,75 @@ mod tests {
         c.reserve(4);
         assert_eq!(c.occupancy(), (1, 2));
         assert_eq!(c.waiting_count(), 1);
+    }
+
+    #[test]
+    fn probe_batch_mirrors_scalar_sequence() {
+        // The batched pass must leave the cache (state AND statistics)
+        // exactly where the equivalent scalar probe/reserve loop does.
+        let mut batched = tiny(4, 4);
+        let mut scalar = tiny(4, 4);
+        // Mixed workload: repeats (hits), fresh addresses (misses), an
+        // address left waiting (Waiting lanes).
+        let addrs: Vec<u32> = vec![100, 104, 100, 108, 104, 100, 112, 108];
+        scalar.fill(104, 7, Origin::Rem);
+        batched.fill(104, 7, Origin::Rem);
+
+        let mut out = Vec::new();
+        batched.probe_batch(&addrs, &mut out);
+
+        let mut expected = Vec::new();
+        for &a in &addrs {
+            expected.push(match scalar.probe(a) {
+                ProbeResult::Hit { value, origin } => BatchProbe::Hit { value, origin },
+                ProbeResult::HitWaiting => BatchProbe::Waiting,
+                ProbeResult::Miss => match scalar.reserve(a) {
+                    ReserveOutcome::Reserved => BatchProbe::MissReserved,
+                    ReserveOutcome::SetFullOfWaiting => BatchProbe::MissUnrecorded,
+                },
+            });
+        }
+        assert_eq!(out, expected);
+        assert_eq!(batched.stats(), scalar.stats());
+        assert_eq!(batched.waiting_count(), scalar.waiting_count());
+        assert_eq!(batched.occupancy(), scalar.occupancy());
+    }
+
+    #[test]
+    fn probe_batch_lane_kinds() {
+        let mut c = tiny(2, 1); // one set, two ways
+        c.fill(0, 5, Origin::Loc);
+        let mut out = Vec::new();
+        // 0 hits; 4 reserves; 4 again waits; 8 finds the set full
+        // (one complete + one waiting, waiting never evicted… actually
+        // the complete block for 0 is evictable). Use a second reserve
+        // to fill the set with waiters first.
+        c.reserve(4);
+        c.reserve(0); // re-marks 0 waiting: set now entirely waiting
+        c.probe_batch(&[4, 8], &mut out);
+        assert_eq!(out, vec![BatchProbe::Waiting, BatchProbe::MissUnrecorded]);
+        out.clear();
+        c.fill(4, 9, Origin::Rem);
+        c.probe_batch(&[4, 12], &mut out);
+        assert_eq!(
+            out,
+            vec![
+                BatchProbe::Hit {
+                    value: 9,
+                    origin: Origin::Rem
+                },
+                BatchProbe::MissReserved,
+            ]
+        );
+    }
+
+    #[test]
+    fn probe_batch_empty_is_noop() {
+        let mut c = tiny(4, 4);
+        let mut out = Vec::new();
+        c.probe_batch(&[], &mut out);
+        assert!(out.is_empty());
+        assert_eq!(c.stats().misses, 0);
     }
 
     #[test]

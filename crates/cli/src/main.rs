@@ -75,9 +75,12 @@ commands:
   dataplane  --workers N [--engine dp|binary|lulea|lc|dir24] [--beta B]
              [--gamma G] [--batch N] [--preset NAME] [--packets N]
              [--churn UPDATES] [--publish-every N] [--withdraw-fraction F]
-             [--pace-us US] [--invalidation targeted|flush]
+             [--pace-us US] [--invalidation targeted|flush] [--scalar]
              [--deterministic] [--seed S] [--faults SEED] [--json]
              run the threaded SPAL runtime with RCU table publication;
+             --scalar disables the vector-mode worker loop (burst ring
+             drains, batched cache probes, coalesced home-LC lookups)
+             and processes one packet per iteration as before;
              --faults injects seed-driven message drops/delays/dups and
              worker stalls (implies --deterministic) and exits non-zero
              on any oracle divergence
@@ -353,6 +356,7 @@ fn cmd_dataplane(args: &Args) -> Result<(), ArgError> {
             ..LrCacheConfig::default()
         },
         batch: args.get_or("batch", 32usize)?,
+        vector: !args.has("scalar"),
         churn,
         invalidation,
         // Fault runs use the deterministic schedule so every fault —
@@ -378,6 +382,21 @@ fn cmd_dataplane(args: &Args) -> Result<(), ArgError> {
         return Ok(());
     }
     println!("{}", report.summary());
+    let paths = report.latency_paths();
+    let all = paths.all();
+    if all.count() > 0 {
+        println!(
+            "latency (ns): loc-hit p50/p99.9 {}/{}, rem-hit p50/p99.9 {}/{}, \
+             miss p50/p99.9 {}/{}, all p99.9 {}",
+            paths.loc_hit.p50_ns(),
+            paths.loc_hit.p999_ns(),
+            paths.rem_hit.p50_ns(),
+            paths.rem_hit.p999_ns(),
+            paths.miss.p50_ns(),
+            paths.miss.p999_ns(),
+            all.p999_ns(),
+        );
+    }
     if let Some(c) = &report.churn {
         println!(
             "churn: {} invalidations sent, apply min/mean/max {:.1}/{:.1}/{:.1} µs, \

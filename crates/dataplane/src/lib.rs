@@ -29,8 +29,8 @@ pub mod vcache;
 pub use epoch::{epoch_table, EpochReader, EpochWriter, Pinned};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use report::{
-    ChurnReport, CoherenceSummary, DataplaneReport, FaultReport, LatencySummary, TailSummary,
-    WorkerReport,
+    ChurnReport, CoherenceSummary, DataplaneReport, FaultReport, LatencyHisto, LatencySummary,
+    PathLatency, TailSummary, WorkerReport,
 };
 pub use runtime::{run, ChurnConfig, DataplaneConfig, InvalidationMode};
 pub use vcache::{VersionedCache, VersionedFill};

@@ -5,6 +5,154 @@ use crate::fault::FaultStats;
 use spal_cache::CacheStats;
 use std::time::Duration;
 
+/// HDR-style latency histogram: log-linear buckets with 4 sub-bucket
+/// bits (16 sub-buckets per power of two, ~6 % relative resolution),
+/// O(1) record, O(buckets) percentile. Unlike [`LatencySummary`] it
+/// never stores raw samples, so the vector-mode hot path can record
+/// per-packet at tens of Mpps without unbounded allocation.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHisto {
+    /// Bucket counts, grown lazily to the highest bucket touched.
+    buckets: Vec<u64>,
+    count: u64,
+    max_ns: u64,
+}
+
+const HISTO_SUB_BITS: u32 = 4;
+const HISTO_SUB: u64 = 1 << HISTO_SUB_BITS; // 16 sub-buckets per octave
+
+impl LatencyHisto {
+    #[inline]
+    fn bucket(ns: u64) -> usize {
+        if ns < HISTO_SUB {
+            return ns as usize; // exact below 16 ns
+        }
+        let msb = 63 - ns.leading_zeros() as u64;
+        let sub = (ns >> (msb - HISTO_SUB_BITS as u64)) & (HISTO_SUB - 1);
+        ((msb - HISTO_SUB_BITS as u64 + 1) * HISTO_SUB + sub) as usize
+    }
+
+    /// Lower bound (ns) of bucket `idx` — the value a percentile
+    /// falling in that bucket reports.
+    fn bucket_floor(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < HISTO_SUB {
+            return idx;
+        }
+        let msb = idx / HISTO_SUB + HISTO_SUB_BITS as u64 - 1;
+        let sub = idx % HISTO_SUB;
+        (HISTO_SUB + sub) << (msb - HISTO_SUB_BITS as u64)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, ns: u64) {
+        self.record_n(ns, 1);
+    }
+
+    /// Record `n` samples of the same value — how a vector-mode worker
+    /// books a whole burst of same-path packets with one call.
+    pub fn record_n(&mut self, ns: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = Self::bucket(ns);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+        self.count += n;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHisto) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.count += other.count;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Nearest-rank percentile (`f` in `[0, 1]`), reported as the
+    /// containing bucket's lower bound; 0 when empty.
+    pub fn percentile_ns(&self, f: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count - 1) as f64 * f).round() as u64;
+        if target + 1 >= self.count {
+            return self.max_ns; // the top rank is tracked exactly
+        }
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum > target {
+                return Self::bucket_floor(idx).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(0.50)
+    }
+
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(0.99)
+    }
+
+    pub fn p999_ns(&self) -> u64 {
+        self.percentile_ns(0.999)
+    }
+}
+
+/// Per-path packet-latency histograms: the three ways a packet can
+/// complete in §3's terms — LR-cache hit on a locally produced result
+/// (LOC), hit on a remote-sourced result (REM), or a miss that had to
+/// run a lookup (local FE or a round trip to the home LC). Keeping the
+/// paths separate is what lets BENCH_latency.json show that vector
+/// mode's throughput does not come out of the miss path's tail.
+#[derive(Debug, Clone, Default)]
+pub struct PathLatency {
+    /// Completed by an LR-cache hit with M = LOC.
+    pub loc_hit: LatencyHisto,
+    /// Completed by an LR-cache hit with M = REM.
+    pub rem_hit: LatencyHisto,
+    /// Missed the cache: local-partition lookup or fabric round trip
+    /// (includes waiting-list followers).
+    pub miss: LatencyHisto,
+}
+
+impl PathLatency {
+    /// Fold another worker's paths into this one.
+    pub fn merge(&mut self, other: &PathLatency) {
+        self.loc_hit.merge(&other.loc_hit);
+        self.rem_hit.merge(&other.rem_hit);
+        self.miss.merge(&other.miss);
+    }
+
+    /// All three paths merged into one distribution.
+    pub fn all(&self) -> LatencyHisto {
+        let mut h = self.loc_hit.clone();
+        h.merge(&self.rem_hit);
+        h.merge(&self.miss);
+        h
+    }
+}
+
 /// Per-worker (per-LC) results.
 #[derive(Debug, Clone, Default)]
 pub struct WorkerReport {
@@ -42,6 +190,17 @@ pub struct WorkerReport {
     /// Wrapping checksum over completed packets:
     /// `Σ (next_hop + 1 | 0 on routing miss)`.
     pub next_hop_sum: u64,
+    /// Snapshot of `cache` taken when this worker crossed the midpoint
+    /// of its trace — the cold-start half. Subtracting it from the final
+    /// stats isolates the steady-state hit rate (a cold cache drags the
+    /// lifetime average down and hides the working set actually fitting).
+    pub cache_cold: CacheStats,
+    /// Per-path packet-latency histograms (admission to completion).
+    pub latency: PathLatency,
+    /// Coalesced `BatchRequest` messages sent (vector mode).
+    pub batch_requests_sent: u64,
+    /// Coalesced `BatchReply` messages sent (vector mode).
+    pub batch_replies_sent: u64,
 }
 
 /// Latency series in microseconds: running min/mean/max plus the raw
@@ -262,6 +421,51 @@ impl DataplaneReport {
         }
     }
 
+    /// LR-cache hit rate over the cold-start half of the run (each
+    /// worker's stats up to its trace midpoint).
+    pub fn hit_rate_cold(&self) -> f64 {
+        let mut hits = 0u64;
+        let mut probes = 0u64;
+        for w in &self.workers {
+            hits += w.cache_cold.hits_loc + w.cache_cold.hits_rem + w.cache_cold.hits_waiting;
+            probes += w.cache_cold.probes();
+        }
+        if probes == 0 {
+            0.0
+        } else {
+            hits as f64 / probes as f64
+        }
+    }
+
+    /// LR-cache hit rate over the steady-state half of the run (final
+    /// stats minus the cold snapshot). Falls back to the lifetime rate
+    /// when no cold snapshot was taken (threaded runs record it too;
+    /// the guard covers hand-built reports).
+    pub fn hit_rate_steady(&self) -> f64 {
+        let mut hits = 0u64;
+        let mut probes = 0u64;
+        for w in &self.workers {
+            let h = w.cache.hits_loc + w.cache.hits_rem + w.cache.hits_waiting;
+            let hc = w.cache_cold.hits_loc + w.cache_cold.hits_rem + w.cache_cold.hits_waiting;
+            hits += h - hc;
+            probes += w.cache.probes() - w.cache_cold.probes();
+        }
+        if probes == 0 {
+            self.hit_rate()
+        } else {
+            hits as f64 / probes as f64
+        }
+    }
+
+    /// Per-path latency histograms merged across workers.
+    pub fn latency_paths(&self) -> PathLatency {
+        let mut merged = PathLatency::default();
+        for w in &self.workers {
+            merged.merge(&w.latency);
+        }
+        merged
+    }
+
     /// Wrapping checksum over every completed packet, order-independent
     /// — equal runs resolve equal next hops.
     pub fn checksum(&self) -> u64 {
@@ -358,6 +562,14 @@ impl DataplaneReport {
             self.throughput_mpps()
         ));
         s.push_str(&format!("  \"hit_rate\": {:.6},\n", self.hit_rate()));
+        s.push_str(&format!(
+            "  \"hit_rate_cold\": {:.6},\n",
+            self.hit_rate_cold()
+        ));
+        s.push_str(&format!(
+            "  \"hit_rate_steady\": {:.6},\n",
+            self.hit_rate_steady()
+        ));
         s.push_str(&format!("  \"rem_share\": {:.6},\n", self.rem_share()));
         s.push_str(&format!("  \"checksum\": {},\n", self.checksum()));
         s.push_str(&format!(
@@ -368,6 +580,7 @@ impl DataplaneReport {
             "  \"tail_ns\": {{ \"p50\": {:.1}, \"p99\": {:.1}, \"max\": {:.1} }},\n",
             self.tail.p50_ns, self.tail.p99_ns, self.tail.max_ns
         ));
+        s.push_str(&self.latency_json());
         match &self.churn {
             Some(c) => s.push_str(&format!(
                 "  \"churn\": {{ \"updates\": {}, \"publications\": {}, \"invalidations_sent\": {}, \"apply_us\": {{ \"mean\": {:.2}, \"min\": {:.2}, \"max\": {:.2}, \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2} }}, \"delta_applies\": {}, \"rebuild_applies\": {}, \"delta_bytes_touched\": {}, \"delta_prefixes_applied\": {}, \"reclaim_us\": {{ \"mean\": {:.2}, \"max\": {:.2} }}, \"final_checks\": {}, \"final_mismatches\": {} }},\n",
@@ -415,6 +628,29 @@ impl DataplaneReport {
         }
         s.push_str("  ]\n}\n");
         s
+    }
+
+    /// JSON object with per-path latency percentiles — the payload
+    /// BENCH_latency.json collects per configuration.
+    pub fn latency_json(&self) -> String {
+        let paths = self.latency_paths();
+        let one = |h: &LatencyHisto| {
+            format!(
+                "{{ \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {} }}",
+                h.count(),
+                h.p50_ns(),
+                h.p99_ns(),
+                h.p999_ns(),
+                h.max_ns()
+            )
+        };
+        format!(
+            "  \"latency\": {{ \"loc_hit\": {}, \"rem_hit\": {}, \"miss\": {}, \"all\": {} }},\n",
+            one(&paths.loc_hit),
+            one(&paths.rem_hit),
+            one(&paths.miss),
+            one(&paths.all()),
+        )
     }
 
     fn faults_json(&self) -> String {
@@ -542,6 +778,103 @@ mod tests {
         assert_eq!(l.p95_us(), 95.0);
         assert_eq!(l.p99_us(), 99.0);
         assert_eq!(l.percentile_us(1.0), 100.0);
+    }
+
+    #[test]
+    fn histo_buckets_are_monotone_and_exact_below_16() {
+        for ns in 0..16u64 {
+            assert_eq!(LatencyHisto::bucket(ns), ns as usize);
+            assert_eq!(LatencyHisto::bucket_floor(ns as usize), ns);
+        }
+        let mut prev = 0usize;
+        for shift in 4..63u32 {
+            for sub in [0u64, 1, 7, 15] {
+                let ns = (1u64 << shift) + (sub << (shift - 4));
+                let idx = LatencyHisto::bucket(ns);
+                assert!(idx >= prev, "bucket index regressed at {ns}");
+                // A bucket's floor maps back to the same bucket, and is
+                // never above the sample it came from.
+                assert_eq!(LatencyHisto::bucket(LatencyHisto::bucket_floor(idx)), idx);
+                assert!(LatencyHisto::bucket_floor(idx) <= ns);
+                prev = idx;
+            }
+        }
+    }
+
+    #[test]
+    fn histo_percentiles_within_bucket_resolution() {
+        let mut h = LatencyHisto::default();
+        for i in 1..=10_000u64 {
+            h.record(i);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.max_ns(), 10_000);
+        // 16 sub-buckets per octave → the reported floor is within
+        // 1/16 (~6.25 %) below the true nearest-rank value.
+        for (f, exact) in [(0.50, 5000u64), (0.99, 9901), (0.999, 9991)] {
+            let got = h.percentile_ns(f);
+            assert!(
+                got <= exact && got as f64 >= exact as f64 * (1.0 - 1.0 / 16.0),
+                "p{f}: got {got}, exact {exact}"
+            );
+        }
+        assert_eq!(h.percentile_ns(1.0), 10_000);
+    }
+
+    #[test]
+    fn histo_record_n_and_merge() {
+        let mut a = LatencyHisto::default();
+        let mut b = LatencyHisto::default();
+        a.record_n(100, 50);
+        b.record_n(1_000_000, 5);
+        a.merge(&b);
+        assert_eq!(a.count(), 55);
+        assert_eq!(a.max_ns(), 1_000_000);
+        assert!(a.p50_ns() <= 100);
+        assert!(a.p999_ns() > 900_000);
+        assert_eq!(LatencyHisto::default().percentile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn path_latency_all_merges_paths() {
+        let mut p = PathLatency::default();
+        p.loc_hit.record_n(50, 10);
+        p.rem_hit.record_n(80, 10);
+        p.miss.record_n(5_000, 10);
+        let all = p.all();
+        assert_eq!(all.count(), 30);
+        assert_eq!(all.max_ns(), 5_000);
+        let mut merged = PathLatency::default();
+        merged.merge(&p);
+        merged.merge(&p);
+        assert_eq!(merged.all().count(), 60);
+    }
+
+    #[test]
+    fn cold_and_steady_hit_rates_split() {
+        let mut r = DataplaneReport::default();
+        let mut w = WorkerReport {
+            lc: 0,
+            packets: 200,
+            ..Default::default()
+        };
+        // Cold half: 10 hits / 100 probes. Lifetime: 100 hits / 200.
+        w.cache_cold.hits_loc = 10;
+        w.cache_cold.misses = 90;
+        w.cache.hits_loc = 100;
+        w.cache.misses = 100;
+        r.workers.push(w);
+        assert!((r.hit_rate_cold() - 0.10).abs() < 1e-12);
+        assert!((r.hit_rate_steady() - 0.90).abs() < 1e-12);
+        assert!((r.hit_rate() - 0.50).abs() < 1e-12);
+        let json = r.to_json();
+        assert!(json.contains("\"hit_rate_cold\": 0.100000"));
+        assert!(json.contains("\"hit_rate_steady\": 0.900000"));
+        // The canonical (golden-pinned) rendering must not carry any of
+        // the new wall-clock or cold-split fields.
+        let canon = r.canonical_json();
+        assert!(!canon.contains("hit_rate_cold"));
+        assert!(!canon.contains("latency"));
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! the worker) so it can be interleaving-tested exhaustively with
 //! [`spal_check::interleave`] from the ordinary test suite.
 
-use spal_cache::{CacheAddr, FillOutcome, LrCache, Origin, ProbeResult, ReserveOutcome};
+use spal_cache::{
+    BatchProbe, CacheAddr, FillOutcome, LrCache, Origin, ProbeResult, ReserveOutcome,
+};
 
 /// What happened to a version-stamped fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +56,14 @@ impl<V: Copy + Eq + std::fmt::Debug, A: CacheAddr> VersionedCache<V, A> {
     /// See [`LrCache::reserve`].
     pub fn reserve(&mut self, addr: A) -> ReserveOutcome {
         self.cache.reserve(addr)
+    }
+
+    /// See [`LrCache::probe_batch`] — the vector-mode probe pass with
+    /// the miss-path reservation folded in, one [`BatchProbe`] per
+    /// address. Versioning does not enter the probe path (only fills
+    /// are gated), so this is a plain delegation.
+    pub fn probe_batch(&mut self, addrs: &[A], out: &mut Vec<BatchProbe<V>>) {
+        self.cache.probe_batch(addrs, out)
     }
 
     /// Process a full-flush invalidation published at `version`.

@@ -144,6 +144,86 @@ fn fault_runs_replay_deterministically() {
     );
 }
 
+/// Batch-message faults: the default (vector-mode) configs above
+/// already run the adversary against coalesced messages, but this test
+/// makes the coverage explicit — the runs must actually put
+/// `BatchRequest`/`BatchReply` messages on the wire, the injector must
+/// drop/delay/duplicate them as whole units (a dropped batch reply
+/// stalls up to 32 addresses until the retransmit lands; a duplicated
+/// one must be recognized per address), and the oracle and coherence
+/// sweeps must stay clean through all of it.
+#[test]
+fn batch_messages_face_the_adversary_with_zero_divergence() {
+    let (table, traces) = setup(4, 3_000);
+    for seed in SEEDS {
+        let report = run(&table, &traces, &fault_cfg(4, seed, true));
+        let batch_requests: u64 = report.workers.iter().map(|w| w.batch_requests_sent).sum();
+        let batch_replies: u64 = report.workers.iter().map(|w| w.batch_replies_sent).sum();
+        assert!(
+            batch_requests > 0,
+            "seed {seed}: no coalesced request ever sent — batch faults untested"
+        );
+        assert!(
+            batch_replies > 0,
+            "seed {seed}: no coalesced reply ever sent — batch faults untested"
+        );
+        assert_eq!(
+            report.oracle_divergence(),
+            0,
+            "seed {seed}: {}",
+            report.fault_summary()
+        );
+        let coh = report.coherence.expect("deterministic run sweeps");
+        assert_eq!(coh.mismatches, 0, "seed {seed}: stale cache entries");
+        assert_adversary_fired(&report, seed);
+    }
+}
+
+/// Control arm: the same adversary against the scalar (non-vector)
+/// loop. Proves the fault machinery itself is mode-agnostic and pins
+/// the scalar path's resilience now that vector is the default.
+#[test]
+fn scalar_mode_survives_the_same_adversary() {
+    let (table, traces) = setup(4, 3_000);
+    for seed in SEEDS {
+        let mut cfg = fault_cfg(4, seed, true);
+        cfg.vector = false;
+        let report = run(&table, &traces, &cfg);
+        assert!(report
+            .workers
+            .iter()
+            .all(|w| w.batch_requests_sent == 0 && w.batch_replies_sent == 0));
+        assert_eq!(
+            report.oracle_divergence(),
+            0,
+            "seed {seed}: {}",
+            report.fault_summary()
+        );
+        assert_adversary_fired(&report, seed);
+    }
+}
+
+/// A stall freezes a worker mid-vector: events already coalesced but
+/// not yet flushed must survive the pause and go out (in order) on the
+/// next unstalled iteration. With stalls cranked up an order of
+/// magnitude beyond the standard plan, every packet must still
+/// complete exactly once.
+#[test]
+fn stall_heavy_plan_holds_vectors_across_iterations() {
+    let (table, traces) = setup(4, 2_000);
+    let (packets, sum) = oracle_checksum(&table, &traces);
+    let mut plan = FaultPlan::standard(77);
+    plan.stall_per_mille = 500; // every other iteration pauses
+    let mut cfg = fault_cfg(4, 77, false);
+    cfg.faults = Some(plan);
+    let report = run(&table, &traces, &cfg);
+    let f = report.faults.as_ref().expect("plan ran");
+    assert!(f.stalls > 100, "stall knob had no effect: {}", f.stalls);
+    assert_eq!(report.total_packets(), packets);
+    assert_eq!(report.checksum(), sum, "a held vector was lost or replayed");
+    assert_eq!(report.oracle_divergence(), 0);
+}
+
 /// Full-flush invalidation mode survives the same adversary.
 #[test]
 fn full_flush_mode_survives_faults() {

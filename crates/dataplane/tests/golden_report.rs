@@ -9,6 +9,17 @@
 //! ```text
 //! SPAL_BLESS=1 cargo test -p spal-dataplane --test golden_report
 //! ```
+//!
+//! Re-bless history: the vector-mode dataplane (coalesced batch
+//! messages, default on) changed the *number of fabric messages* this
+//! faulted run sends, and the fault injector's RNG advances per
+//! message — so the same plan seed now lands delays/drops/duplicates
+//! on different messages and the pinned counters shifted. The
+//! per-address semantics are unchanged: the faultless equivalence test
+//! (`vector_and_scalar_canonical_reports_match` in `runtime.rs`)
+//! proves scalar and vector runs render byte-identical canonical
+//! reports, and the fault suite still asserts zero oracle divergence
+//! in both modes.
 
 use spal_cache::LrCacheConfig;
 use spal_dataplane::{run, ChurnConfig, DataplaneConfig, FaultPlan};

@@ -1,16 +1,129 @@
 //! Messages exchanged across the switching fabric.
 
+/// Maximum addresses one batch message carries. Batch payloads are
+/// fixed-size inline arrays (the SPSC ring requires `Copy` slots, so no
+/// heap indirection): at 32 lanes a `FabricMsg` is ~290 bytes, which
+/// keeps per-packet ring traffic under 10 bytes once a vector-mode
+/// worker coalesces its misses, without bloating ring memory the way a
+/// cache-line-per-address layout would.
+pub const BATCH_MSG_LANES: usize = 32;
+
+/// Payload of a [`MsgKind::BatchRequest`]: up to [`BATCH_MSG_LANES`]
+/// addresses homed on the destination LC, coalesced from one sender
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrBatch {
+    len: u8,
+    addrs: [u32; BATCH_MSG_LANES],
+}
+
+impl AddrBatch {
+    /// Pack a slice of addresses.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty or longer than [`BATCH_MSG_LANES`].
+    pub fn from_slice(addrs: &[u32]) -> Self {
+        assert!(
+            !addrs.is_empty() && addrs.len() <= BATCH_MSG_LANES,
+            "batch of {} addresses (lanes: {BATCH_MSG_LANES})",
+            addrs.len()
+        );
+        let mut packed = [0u32; BATCH_MSG_LANES];
+        packed[..addrs.len()].copy_from_slice(addrs);
+        AddrBatch {
+            len: addrs.len() as u8,
+            addrs: packed,
+        }
+    }
+
+    /// The packed addresses, in sender order.
+    pub fn addrs(&self) -> &[u32] {
+        &self.addrs[..self.len as usize]
+    }
+
+    /// Number of addresses carried.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the batch carries nothing (never true for a constructed
+    /// batch; present for clippy's `len`-without-`is_empty` lint).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Payload of a [`MsgKind::BatchReply`]: up to [`BATCH_MSG_LANES`]
+/// `(address, next_hop)` results, all computed against the same table
+/// version (the carrying message's `sent_at`) — the home LC answers a
+/// coalesced request with one `lookup_batch` call and one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyBatch {
+    len: u8,
+    addrs: [u32; BATCH_MSG_LANES],
+    next_hops: [Option<u16>; BATCH_MSG_LANES],
+}
+
+impl ReplyBatch {
+    /// Pack `(address, next_hop)` pairs.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty or longer than [`BATCH_MSG_LANES`].
+    pub fn from_pairs(pairs: &[(u32, Option<u16>)]) -> Self {
+        assert!(
+            !pairs.is_empty() && pairs.len() <= BATCH_MSG_LANES,
+            "batch of {} replies (lanes: {BATCH_MSG_LANES})",
+            pairs.len()
+        );
+        let mut addrs = [0u32; BATCH_MSG_LANES];
+        let mut next_hops = [None; BATCH_MSG_LANES];
+        for (i, &(a, nh)) in pairs.iter().enumerate() {
+            addrs[i] = a;
+            next_hops[i] = nh;
+        }
+        ReplyBatch {
+            len: pairs.len() as u8,
+            addrs,
+            next_hops,
+        }
+    }
+
+    /// Iterate the packed `(address, next_hop)` pairs in sender order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Option<u16>)> + '_ {
+        (0..self.len as usize).map(move |i| (self.addrs[i], self.next_hops[i]))
+    }
+
+    /// Number of results carried.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the batch carries nothing (never true for a constructed
+    /// batch; present for clippy's `len`-without-`is_empty` lint).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// What a fabric message carries.
 ///
 /// Requests travel from a packet's arrival LC to its home LC; replies
 /// carry the lookup result back (§3.3). Identifiers are raw `u16`s so
 /// this crate stays dependency-free; `spal-core` maps them to `NextHop`.
+/// The batch variants are the vector-mode dataplane's coalesced forms:
+/// one message per destination LC per iteration instead of one per
+/// address, with the same per-address semantics on the receiving side.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MsgKind {
     /// "Look this address up for me" — routed by the partitioning bits.
     Request,
     /// The lookup result: `Some(next_hop)` or `None` for a routing miss.
     Reply { next_hop: Option<u16> },
+    /// Coalesced requests: every address is homed on the destination LC.
+    BatchRequest(AddrBatch),
+    /// Coalesced replies, all stamped with the carrying message's
+    /// `sent_at` table version.
+    BatchReply(ReplyBatch),
 }
 
 /// One message in flight over the fabric.
@@ -30,9 +143,18 @@ pub struct FabricMsg {
 }
 
 impl FabricMsg {
-    /// Whether this is a request.
+    /// Whether this is a request (scalar or batch).
     pub fn is_request(&self) -> bool {
-        matches!(self.kind, MsgKind::Request)
+        matches!(self.kind, MsgKind::Request | MsgKind::BatchRequest(_))
+    }
+
+    /// Number of addresses this message carries (1 for scalar kinds).
+    pub fn lanes(&self) -> usize {
+        match &self.kind {
+            MsgKind::Request | MsgKind::Reply { .. } => 1,
+            MsgKind::BatchRequest(b) => b.len(),
+            MsgKind::BatchReply(b) => b.len(),
+        }
     }
 }
 
@@ -51,10 +173,63 @@ mod tests {
             sent_at: 100,
         };
         assert!(req.is_request());
+        assert_eq!(req.lanes(), 1);
         let rep = FabricMsg {
             kind: MsgKind::Reply { next_hop: Some(3) },
             ..req
         };
         assert!(!rep.is_request());
+    }
+
+    #[test]
+    fn addr_batch_packs_and_unpacks() {
+        let addrs: Vec<u32> = (0..7).map(|i| 0x0A00_0000 + i).collect();
+        let b = AddrBatch::from_slice(&addrs);
+        assert_eq!(b.len(), 7);
+        assert!(!b.is_empty());
+        assert_eq!(b.addrs(), &addrs[..]);
+        let msg = FabricMsg {
+            kind: MsgKind::BatchRequest(b),
+            src: 2,
+            dst: 0,
+            addr: addrs[0],
+            packet_id: 0,
+            sent_at: 0,
+        };
+        assert!(msg.is_request());
+        assert_eq!(msg.lanes(), 7);
+    }
+
+    #[test]
+    fn reply_batch_preserves_pairs_in_order() {
+        let pairs: Vec<(u32, Option<u16>)> = (0..BATCH_MSG_LANES as u32)
+            .map(|i| (i * 13, if i % 3 == 0 { None } else { Some(i as u16) }))
+            .collect();
+        let b = ReplyBatch::from_pairs(&pairs);
+        assert_eq!(b.len(), BATCH_MSG_LANES);
+        assert_eq!(b.iter().collect::<Vec<_>>(), pairs);
+        let msg = FabricMsg {
+            kind: MsgKind::BatchReply(b),
+            src: 0,
+            dst: 2,
+            addr: pairs[0].0,
+            packet_id: 0,
+            sent_at: 9,
+        };
+        assert!(!msg.is_request());
+        assert_eq!(msg.lanes(), BATCH_MSG_LANES);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_addr_batch_rejected() {
+        let addrs = vec![0u32; BATCH_MSG_LANES + 1];
+        let _ = AddrBatch::from_slice(&addrs);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_reply_batch_rejected() {
+        let _ = ReplyBatch::from_pairs(&[]);
     }
 }

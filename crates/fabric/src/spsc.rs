@@ -109,6 +109,40 @@ impl<T: Copy + Send> SpscProducer<T> {
         Ok(())
     }
 
+    /// Burst push: append as many of `items` as fit, in order, with ONE
+    /// `Release` store of `head` for the whole burst — the amortization
+    /// vector-mode workers rely on (a per-item `try_push` loop pays a
+    /// published store, and the consumer an `Acquire` reload, per
+    /// message). Returns how many items were pushed; a full ring takes a
+    /// capacity-aware partial prefix and leaves the rest to the caller.
+    pub fn push_slice(&mut self, items: &[T]) -> usize {
+        let head = self.inner.head.load(Ordering::Relaxed);
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        let free = self.capacity() - head.wrapping_sub(tail);
+        let n = free.min(items.len());
+        if n == 0 {
+            return 0;
+        }
+        for (i, item) in items[..n].iter().enumerate() {
+            // SAFETY: slots head..head+n are past the consumer's tail
+            // (free-space check above), so only this producer touches
+            // them until the single Release store below publishes all n.
+            self.inner.slots[head.wrapping_add(i) & self.mask].with_mut(|p| unsafe {
+                (*p).write(*item);
+            });
+        }
+        // Same seeded-bug hook as `try_push`: the burst publish is one
+        // store, so weakening it severs the happens-before edge for
+        // every slot in the burst at once.
+        let publish = if spal_check::bug_enabled("spsc-head-store-relaxed") {
+            Ordering::Relaxed
+        } else {
+            Ordering::Release
+        };
+        self.inner.head.store(head.wrapping_add(n), publish);
+        n
+    }
+
     /// Number of items currently queued (approximate under concurrency).
     pub fn len(&self) -> usize {
         self.inner
@@ -150,6 +184,38 @@ impl<T: Copy + Send> SpscConsumer<T> {
         };
         self.inner.tail.store(tail.wrapping_add(1), release);
         Some(item)
+    }
+
+    /// Burst pop: append up to `max` queued items onto `out`, in FIFO
+    /// order, with ONE `Release` store of `tail` for the whole burst.
+    /// Returns how many items were popped (0 on an empty ring).
+    pub fn pop_slice(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Acquire);
+        let n = head.wrapping_sub(tail).min(max);
+        if n == 0 {
+            return 0;
+        }
+        out.reserve(n);
+        for i in 0..n {
+            // SAFETY: indices tail..tail+n are below `head`, so the
+            // producer published them (ordered by the Acquire load
+            // above) and will not rewrite them until the single tail
+            // store below frees the whole burst.
+            let item = self.inner.slots[tail.wrapping_add(i) & self.mask]
+                .with(|p| unsafe { (*p).assume_init_read() });
+            out.push(item);
+        }
+        // Same seeded-bug hook as `try_pop`: the burst free is one
+        // store, so weakening it lets the producer reuse all n slots
+        // without ordering after the reads.
+        let release = if spal_check::bug_enabled("spsc-tail-store-relaxed") {
+            Ordering::Relaxed
+        } else {
+            Ordering::Release
+        };
+        self.inner.tail.store(tail.wrapping_add(n), release);
+        n
     }
 
     /// Number of items currently queued (approximate under concurrency).
@@ -233,6 +299,115 @@ mod tests {
                     expected += 1;
                 }
                 None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn push_slice_wraps_and_preserves_order() {
+        // Force head/tail well past the array boundary, then burst
+        // across the wrap: items must come out in push order.
+        let (mut tx, mut rx) = spsc_ring::<u64>(8);
+        let mut sink = Vec::new();
+        for _ in 0..3 {
+            assert_eq!(tx.push_slice(&[0, 0, 0]), 3);
+            assert_eq!(rx.pop_slice(&mut sink, 3), 3);
+        }
+        sink.clear();
+        let burst: Vec<u64> = (100..108).collect();
+        assert_eq!(tx.push_slice(&burst), 8); // spans the wraparound
+        assert_eq!(rx.pop_slice(&mut sink, usize::MAX), 8);
+        assert_eq!(sink, burst);
+    }
+
+    #[test]
+    fn push_slice_partial_into_nearly_full_ring() {
+        let (mut tx, mut rx) = spsc_ring::<u32>(8);
+        assert_eq!(tx.push_slice(&[1, 2, 3, 4, 5, 6]), 6);
+        // Only 2 slots free: burst of 5 takes a partial prefix.
+        assert_eq!(tx.push_slice(&[7, 8, 9, 10, 11]), 2);
+        // Completely full: nothing fits.
+        assert_eq!(tx.push_slice(&[99]), 0);
+        let mut sink = Vec::new();
+        assert_eq!(rx.pop_slice(&mut sink, usize::MAX), 8);
+        assert_eq!(sink, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn pop_slice_on_empty_returns_zero() {
+        let (mut tx, mut rx) = spsc_ring::<u8>(4);
+        let mut sink = Vec::new();
+        assert_eq!(rx.pop_slice(&mut sink, usize::MAX), 0);
+        assert!(sink.is_empty());
+        tx.push_slice(&[5]);
+        assert_eq!(rx.pop_slice(&mut sink, usize::MAX), 1);
+        assert_eq!(rx.pop_slice(&mut sink, usize::MAX), 0);
+        assert_eq!(sink, vec![5]);
+    }
+
+    #[test]
+    fn pop_slice_respects_max() {
+        let (mut tx, mut rx) = spsc_ring::<u32>(16);
+        assert_eq!(tx.push_slice(&[1, 2, 3, 4, 5]), 5);
+        let mut sink = Vec::new();
+        assert_eq!(rx.pop_slice(&mut sink, 2), 2);
+        assert_eq!(sink, vec![1, 2]);
+        assert_eq!(rx.pop_slice(&mut sink, 2), 2);
+        assert_eq!(rx.pop_slice(&mut sink, 2), 1);
+        assert_eq!(sink, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn burst_and_scalar_ops_interleave() {
+        // try_push/try_pop and push_slice/pop_slice share the same
+        // indices; mixing them must preserve FIFO order.
+        let (mut tx, mut rx) = spsc_ring::<u32>(8);
+        assert!(tx.try_push(1).is_ok());
+        assert_eq!(tx.push_slice(&[2, 3]), 2);
+        assert!(tx.try_push(4).is_ok());
+        assert_eq!(rx.try_pop(), Some(1));
+        let mut sink = Vec::new();
+        assert_eq!(rx.pop_slice(&mut sink, usize::MAX), 3);
+        assert_eq!(sink, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn cross_thread_burst_stress_no_loss_no_reorder() {
+        // Same invariant as the scalar stress test, but both sides use
+        // burst operations with varying burst sizes through a tiny ring.
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = spsc_ring::<u64>(8);
+        let producer = std::thread::spawn(move || {
+            let mut next = 0u64;
+            let mut burst = Vec::with_capacity(16);
+            while next < N {
+                burst.clear();
+                let want = (1 + next % 13).min(N - next);
+                burst.extend(next..next + want);
+                let mut off = 0;
+                while off < burst.len() {
+                    let pushed = tx.push_slice(&burst[off..]);
+                    if pushed == 0 {
+                        std::thread::yield_now();
+                    }
+                    off += pushed;
+                }
+                next += want;
+            }
+        });
+        let mut expected = 0u64;
+        let mut sink = Vec::with_capacity(16);
+        while expected < N {
+            sink.clear();
+            if rx.pop_slice(&mut sink, 1 + (expected as usize % 7)) == 0 {
+                std::thread::yield_now();
+                continue;
+            }
+            for &v in &sink {
+                assert_eq!(v, expected);
+                expected += 1;
             }
         }
         producer.join().unwrap();

@@ -477,6 +477,12 @@ impl RouterSim {
                     self.complete_packet(id, now);
                 }
             }
+            // The cycle-level simulator models one FIL lookup per port
+            // per cycle; coalesced batch messages exist only in the
+            // threaded dataplane runtime and never enter this fabric.
+            MsgKind::BatchRequest(_) | MsgKind::BatchReply(_) => {
+                unreachable!("batch messages are a dataplane-runtime construct")
+            }
         }
     }
 
