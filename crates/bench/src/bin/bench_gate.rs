@@ -288,6 +288,45 @@ fn main() {
     let engines = lookup::build_engines(&lookup_table, &lookup::GATED_ALGORITHMS);
     let (lookup_rows, lookup_failures) = lookup::run_gate(&engines, &lookup_trace, 1);
     failures.extend(lookup_failures);
+
+    // Poptrie-vs-Lulea gate: the cache-line-packed engine must beat the
+    // codeword-compressed one on raw throughput — scalar AND batch32 —
+    // at equal or lower storage, on the same stress workload. This pins
+    // the engine's reason to exist: fewer distinct cache lines per
+    // lookup must show up as wall-clock, not just as a model number.
+    let find = |engine: &str, mode: &str| {
+        lookup_rows
+            .iter()
+            .find(|r| r.engine == engine && r.mode == mode)
+            .unwrap_or_else(|| panic!("missing {engine}/{mode} row"))
+    };
+    for mode in ["scalar", "batch32"] {
+        let pop = find("Poptrie", mode);
+        let lulea = find("Lulea", mode);
+        let ratio = pop.packets_per_sec / lulea.packets_per_sec;
+        let verdict = if ratio >= 1.0 { "ok" } else { "FAIL" };
+        println!("  Poptrie/Lulea {mode} throughput {ratio:.2}x (floor 1.0x) {verdict}");
+        if ratio < 1.0 {
+            failures.push(format!("Poptrie {mode} {ratio:.2}x slower than Lulea"));
+        }
+    }
+    let (pop_bytes, lulea_bytes) = (
+        find("Poptrie", "scalar").storage_bytes,
+        find("Lulea", "scalar").storage_bytes,
+    );
+    println!(
+        "  Poptrie storage {pop_bytes} vs Lulea {lulea_bytes} {}",
+        if pop_bytes <= lulea_bytes {
+            "ok"
+        } else {
+            "FAIL"
+        }
+    );
+    if pop_bytes > lulea_bytes {
+        failures.push(format!(
+            "Poptrie storage {pop_bytes} exceeds Lulea {lulea_bytes}"
+        ));
+    }
     let lookup_out = if out.contains("BENCH_sim") {
         out.replace("BENCH_sim", "BENCH_lookup")
     } else {

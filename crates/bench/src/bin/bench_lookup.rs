@@ -12,7 +12,8 @@
 //!
 //! The gate (enforced at one thread, where the ratio is a pure
 //! batch-vs-scalar comparison): batch ≥ 1.5× scalar packets/sec on
-//! DIR-24-8 and Lulea, ≥ 1.0× on the pointer-heavier DP trie. Exits
+//! DIR-24-8 and Lulea, ≥ 1.0× on the pointer-heavier DP trie and on
+//! the already-line-economical Poptrie. Exits
 //! non-zero on a violation so CI can run `bench_lookup --quick`.
 //! Flags: `--quick`, `--packets N`, `--seed N`, `--threads N`,
 //! `--out PATH`.

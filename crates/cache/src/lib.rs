@@ -32,7 +32,7 @@ pub mod victim;
 pub use addr::CacheAddr;
 pub use lr::{
     BatchProbe, FillOutcome, IndexScheme, LrCache, LrCache6, LrCacheConfig, MixMode, Origin,
-    ProbeResult, ReserveOutcome,
+    PrefetchMode, ProbeResult, ReserveOutcome,
 };
 pub use policy::ReplacementPolicy;
 pub use stats::CacheStats;

@@ -72,11 +72,12 @@ commands:
   simulate   --psi N [--beta B] [--gamma G] [--preset NAME]
              [--packets N] [--kind spal|cache-only|conventional]
              [--speed 10|40] [--fe CYCLES] [--seed S]
-  dataplane  --workers N [--engine dp|binary|lulea|lc|dir24] [--beta B]
-             [--gamma G] [--batch N] [--preset NAME] [--packets N]
+  dataplane  --workers N [--engine dp|binary|lulea|lc|dir24|multibit|poptrie]
+             [--beta B] [--gamma G] [--batch N] [--preset NAME] [--packets N]
              [--churn UPDATES] [--publish-every N] [--withdraw-fraction F]
              [--pace-us US] [--invalidation targeted|flush] [--scalar]
              [--deterministic] [--seed S] [--faults SEED] [--json]
+             [--out-latency FILE]
              run the threaded SPAL runtime with RCU table publication;
              --scalar disables the vector-mode worker loop (burst ring
              drains, batched cache probes, coalesced home-LC lookups)
@@ -209,10 +210,13 @@ fn cmd_lookup(args: &Args) -> Result<(), ArgError> {
         let entry = table.longest_match(addr);
         match entry {
             Some(e) => println!(
-                "{a} -> {} via {} ({} accesses)",
-                e.next_hop, e.prefix, counted.mem_accesses
+                "{a} -> {} via {} ({} accesses, {} lines)",
+                e.next_hop, e.prefix, counted.mem_accesses, counted.lines_touched
             ),
-            None => println!("{a} -> no route ({} accesses)", counted.mem_accesses),
+            None => println!(
+                "{a} -> no route ({} accesses, {} lines)",
+                counted.mem_accesses, counted.lines_touched
+            ),
         }
     }
     Ok(())
@@ -312,6 +316,7 @@ fn cmd_dataplane(args: &Args) -> Result<(), ArgError> {
         "lc" => LpmAlgorithm::Lc { fill_factor: 0.25 },
         "dir24" => LpmAlgorithm::Dir24,
         "multibit" => LpmAlgorithm::Multibit,
+        "poptrie" => LpmAlgorithm::Poptrie,
         other => return Err(ArgError(format!("unknown engine {other:?}"))),
     };
     let beta = args.get_or("beta", 4096usize)?;
@@ -364,6 +369,10 @@ fn cmd_dataplane(args: &Args) -> Result<(), ArgError> {
         deterministic: args.has("deterministic") || faults.is_some(),
         seed,
         faults,
+        // Latency histograms cost a timestamp pair per admit burst;
+        // only pay for them when something consumes them (the JSON
+        // report or an --out-latency file).
+        capture_latency: args.has("json") || args.get("out-latency").is_some(),
         ..DataplaneConfig::default()
     };
     eprintln!(
@@ -377,6 +386,28 @@ fn cmd_dataplane(args: &Args) -> Result<(), ArgError> {
         },
     );
     let report = run(&table, &traces, &cfg);
+    if let Some(path) = args.get("out-latency") {
+        let p = report.latency_paths();
+        let json = format!(
+            "{{\"loc_hit\": {{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}, \
+             \"rem_hit\": {{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}, \
+             \"miss\": {{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}}}\n",
+            p.loc_hit.count(),
+            p.loc_hit.p50_ns(),
+            p.loc_hit.p99_ns(),
+            p.loc_hit.p999_ns(),
+            p.rem_hit.count(),
+            p.rem_hit.p50_ns(),
+            p.rem_hit.p99_ns(),
+            p.rem_hit.p999_ns(),
+            p.miss.count(),
+            p.miss.p50_ns(),
+            p.miss.p99_ns(),
+            p.miss.p999_ns(),
+        );
+        std::fs::write(path, json).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote latency histogram to {path}");
+    }
     if args.has("json") {
         print!("{}", report.to_json());
         return Ok(());

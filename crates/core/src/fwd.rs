@@ -7,6 +7,7 @@ use spal_lpm::dp::DpTrie;
 use spal_lpm::lctrie::LcTrie;
 use spal_lpm::lulea::LuleaTrie;
 use spal_lpm::multibit::MultibitTrie;
+use spal_lpm::poptrie::Poptrie;
 use spal_lpm::{CountedLookup, DeltaStats, Lpm};
 use spal_rib::{Prefix, RoutingTable};
 
@@ -30,6 +31,10 @@ pub enum LpmAlgorithm {
     /// the middle ground between the compressed tries and DIR-24-8, and
     /// fully patchable in place.
     Multibit,
+    /// Popcount-compressed multibit trie (Poptrie-class) with 16-bit
+    /// direct root and cache-line-packed 8-bit-stride nodes — the
+    /// fewest-cache-lines engine, stem-patchable in place.
+    Poptrie,
 }
 
 impl LpmAlgorithm {
@@ -42,6 +47,7 @@ impl LpmAlgorithm {
             LpmAlgorithm::Lc { .. } => "LC",
             LpmAlgorithm::Dir24 => "DIR-24-8",
             LpmAlgorithm::Multibit => "Multibit",
+            LpmAlgorithm::Poptrie => "Poptrie",
         }
     }
 }
@@ -55,6 +61,7 @@ pub enum ForwardingTable {
     Lc(LcTrie),
     Dir24(Dir24_8),
     Multibit(MultibitTrie),
+    Poptrie(Poptrie),
 }
 
 impl ForwardingTable {
@@ -107,6 +114,7 @@ impl ForwardingTable {
             }
             LpmAlgorithm::Dir24 => ForwardingTable::Dir24(Dir24_8::build(table)),
             LpmAlgorithm::Multibit => ForwardingTable::Multibit(MultibitTrie::build_16_8_8(table)),
+            LpmAlgorithm::Poptrie => ForwardingTable::Poptrie(Poptrie::build(table)),
         }
     }
 }
@@ -120,6 +128,7 @@ impl Lpm for ForwardingTable {
             ForwardingTable::Lc(t) => t.lookup(addr),
             ForwardingTable::Dir24(t) => t.lookup(addr),
             ForwardingTable::Multibit(t) => t.lookup(addr),
+            ForwardingTable::Poptrie(t) => t.lookup(addr),
         }
     }
 
@@ -131,6 +140,7 @@ impl Lpm for ForwardingTable {
             ForwardingTable::Lc(t) => t.lookup_counted(addr),
             ForwardingTable::Dir24(t) => t.lookup_counted(addr),
             ForwardingTable::Multibit(t) => t.lookup_counted(addr),
+            ForwardingTable::Poptrie(t) => t.lookup_counted(addr),
         }
     }
 
@@ -144,6 +154,7 @@ impl Lpm for ForwardingTable {
             ForwardingTable::Lc(t) => t.lookup_batch(addrs, out),
             ForwardingTable::Dir24(t) => t.lookup_batch(addrs, out),
             ForwardingTable::Multibit(t) => t.lookup_batch(addrs, out),
+            ForwardingTable::Poptrie(t) => t.lookup_batch(addrs, out),
         }
     }
 
@@ -160,6 +171,7 @@ impl Lpm for ForwardingTable {
             ForwardingTable::Lc(t) => t.apply_delta(changed, rib),
             ForwardingTable::Dir24(t) => t.apply_delta(changed, rib),
             ForwardingTable::Multibit(t) => t.apply_delta(changed, rib),
+            ForwardingTable::Poptrie(t) => t.apply_delta(changed, rib),
         }
     }
 
@@ -171,6 +183,7 @@ impl Lpm for ForwardingTable {
             ForwardingTable::Lc(t) => t.storage_bytes(),
             ForwardingTable::Dir24(t) => t.storage_bytes(),
             ForwardingTable::Multibit(t) => t.storage_bytes(),
+            ForwardingTable::Poptrie(t) => t.storage_bytes(),
         }
     }
 
@@ -182,6 +195,7 @@ impl Lpm for ForwardingTable {
             ForwardingTable::Lc(t) => t.name(),
             ForwardingTable::Dir24(t) => t.name(),
             ForwardingTable::Multibit(t) => t.name(),
+            ForwardingTable::Poptrie(t) => t.name(),
         }
     }
 }
@@ -200,6 +214,7 @@ mod tests {
             LpmAlgorithm::Dp,
             LpmAlgorithm::Lulea,
             LpmAlgorithm::Lc { fill_factor: 0.25 },
+            LpmAlgorithm::Poptrie,
         ]
         .into_iter()
         .map(|a| ForwardingTable::build(a, &rt))

@@ -7,9 +7,12 @@
 //! insert/withdraw, and is generic over address width so the IPv6
 //! extension (§6) can reuse it unchanged.
 
-use crate::{CountedLookup, Lpm, BATCH_LANES};
+use crate::{CountedLookup, LineSet, Lpm, BATCH_LANES};
 use spal_rib::bits::AddressBits;
 use spal_rib::{NextHop, RoutingTable};
+
+/// Line-accounting region tag: the node arena (the only array read).
+const REGION_NODES: u32 = 0;
 
 /// Sentinel for "no child".
 const NONE: u32 = u32::MAX;
@@ -120,11 +123,15 @@ impl<A: AddressBits> GenericBinaryTrie<A> {
     }
 
     /// Longest-prefix match with an access count (one access per node
-    /// visited). Works for any address width.
+    /// visited). Works for any address width. Lines: each visited node is
+    /// a [`NODE_BYTES`]-byte record at `index * NODE_BYTES` in the arena;
+    /// records straddling a 64-byte boundary touch two lines.
     pub fn lookup_counted_generic(&self, addr: A) -> CountedLookup {
         let mut node = 0usize;
         let mut best = self.nodes[0].route;
         let mut accesses = 1u32; // root read
+        let mut lines = LineSet::new();
+        lines.touch(REGION_NODES, 0, NODE_BYTES);
         for i in 0..A::BITS {
             let child = self.nodes[node].children[addr.bit(i) as usize];
             if child == NONE {
@@ -132,6 +139,7 @@ impl<A: AddressBits> GenericBinaryTrie<A> {
             }
             node = child as usize;
             accesses += 1;
+            lines.touch(REGION_NODES, node * NODE_BYTES, NODE_BYTES);
             if let Some(nh) = self.nodes[node].route {
                 best = Some(nh);
             }
@@ -139,6 +147,7 @@ impl<A: AddressBits> GenericBinaryTrie<A> {
         CountedLookup {
             next_hop: best,
             mem_accesses: accesses,
+            lines_touched: lines.count(),
         }
     }
 
@@ -171,6 +180,10 @@ impl BinaryTrie {
         let mut acc = [1u32; BATCH_LANES]; // root read
         let mut depth = [0u8; BATCH_LANES];
         let mut active = [true; BATCH_LANES];
+        let mut lines: [LineSet; BATCH_LANES] = std::array::from_fn(|_| LineSet::new());
+        for l in &mut lines {
+            l.touch(REGION_NODES, 0, NODE_BYTES);
+        }
         loop {
             let mut any = false;
             for l in 0..BATCH_LANES {
@@ -188,6 +201,7 @@ impl BinaryTrie {
                 }
                 node[l] = child as usize;
                 acc[l] += 1;
+                lines[l].touch(REGION_NODES, node[l] * NODE_BYTES, NODE_BYTES);
                 if let Some(nh) = nodes[node[l]].route {
                     best[l] = Some(nh);
                 }
@@ -201,6 +215,7 @@ impl BinaryTrie {
         std::array::from_fn(|l| CountedLookup {
             next_hop: best[l],
             mem_accesses: acc[l],
+            lines_touched: lines[l].count(),
         })
     }
 }

@@ -261,12 +261,16 @@ impl Lpm for Dir24_8 {
         (v != MISS).then_some(NextHop(v))
     }
 
+    /// Both tables hold aligned 2-byte entries (2 divides 64, and the two
+    /// tables are distinct line regions), so an access never straddles a
+    /// line and `lines_touched == mem_accesses` with no dedup set needed.
     fn lookup_counted(&self, addr: u32) -> CountedLookup {
         let e = self.tbl24[(addr >> 8) as usize];
         if e & LONG_FLAG == 0 {
             return CountedLookup {
                 next_hop: (e != MISS).then_some(NextHop(e)),
                 mem_accesses: 1,
+                lines_touched: 1,
             };
         }
         let seg = (e & !LONG_FLAG) as usize;
@@ -274,6 +278,7 @@ impl Lpm for Dir24_8 {
         CountedLookup {
             next_hop: (v != MISS).then_some(NextHop(v)),
             mem_accesses: 2,
+            lines_touched: 2,
         }
     }
 
@@ -297,6 +302,7 @@ impl Lpm for Dir24_8 {
                 CountedLookup {
                     next_hop: (e != MISS).then_some(NextHop(e)),
                     mem_accesses: 1,
+                    lines_touched: 1,
                 }
             } else {
                 let seg = (e & !LONG_FLAG) as usize;
@@ -304,6 +310,7 @@ impl Lpm for Dir24_8 {
                 CountedLookup {
                     next_hop: (v != MISS).then_some(NextHop(v)),
                     mem_accesses: 2,
+                    lines_touched: 2,
                 }
             };
         }

@@ -15,12 +15,21 @@
 //! condensed to the standard radix insert/withdraw with node splitting and
 //! pruning; no experiment in the paper exercises more.
 
-use crate::{CountedLookup, Lpm, BATCH_LANES};
+use crate::{CountedLookup, LineSet, Lpm, BATCH_LANES};
 use spal_rib::{NextHop, Prefix, RoutingTable};
 
 /// Bytes per DP-trie node under the paper's model (§4): 1 index byte +
 /// five 4-byte pointers.
 pub const DP_NODE_BYTES: usize = 21;
+
+/// Modeled bytes per next-hop data record (the "data pointer" read that
+/// ends a successful lookup in \[8\]).
+const NH_DATA_BYTES: usize = 4;
+
+/// Line-accounting region tags: the node arena and the next-hop data
+/// table are distinct arrays.
+const REGION_NODES: u32 = 0;
+const REGION_NH: u32 = 1;
 
 const NONE: u32 = u32::MAX;
 
@@ -281,6 +290,10 @@ impl DpTrie {
         let mut best: [Option<NextHop>; BATCH_LANES] = [None; BATCH_LANES];
         let mut acc = [1u32; BATCH_LANES]; // root node read
         let mut active = [true; BATCH_LANES];
+        let mut lines: [LineSet; BATCH_LANES] = std::array::from_fn(|_| LineSet::new());
+        for l in &mut lines {
+            l.touch(REGION_NODES, 0, DP_NODE_BYTES);
+        }
         loop {
             let mut any = false;
             for l in 0..BATCH_LANES {
@@ -302,6 +315,7 @@ impl DpTrie {
                 }
                 let c = &nodes[child as usize];
                 acc[l] += 1;
+                lines[l].touch(REGION_NODES, child as usize * DP_NODE_BYTES, DP_NODE_BYTES);
                 if addrs[l] & mask(c.key_len) != c.key_bits {
                     active[l] = false;
                     continue;
@@ -313,11 +327,17 @@ impl DpTrie {
                 break;
             }
         }
-        std::array::from_fn(|l| CountedLookup {
-            next_hop: best[l],
-            // Next-hop (data pointer) read on a match, as in the scalar
-            // path.
-            mem_accesses: acc[l] + best[l].is_some() as u32,
+        std::array::from_fn(|l| {
+            if let Some(nh) = best[l] {
+                lines[l].touch(REGION_NH, nh.0 as usize * NH_DATA_BYTES, NH_DATA_BYTES);
+            }
+            CountedLookup {
+                next_hop: best[l],
+                // Next-hop (data pointer) read on a match, as in the
+                // scalar path.
+                mem_accesses: acc[l] + best[l].is_some() as u32,
+                lines_touched: lines[l].count(),
+            }
         })
     }
 }
@@ -327,6 +347,8 @@ impl Lpm for DpTrie {
         let mut cur = 0u32;
         let mut best: Option<NextHop> = None;
         let mut accesses = 1u32; // root node read
+        let mut lines = LineSet::new();
+        lines.touch(REGION_NODES, 0, DP_NODE_BYTES);
         loop {
             let n = &self.nodes[cur as usize];
             // `cur`'s label is guaranteed to match `addr` (checked before
@@ -345,6 +367,7 @@ impl Lpm for DpTrie {
             // pointers come in the same 21-byte read.
             let c = &self.nodes[child as usize];
             accesses += 1;
+            lines.touch(REGION_NODES, child as usize * DP_NODE_BYTES, DP_NODE_BYTES);
             if addr & mask(c.key_len) != c.key_bits {
                 // Path compression skipped over a divergence; the deepest
                 // match seen so far is the answer ([8]'s backtrack ends
@@ -354,12 +377,14 @@ impl Lpm for DpTrie {
             }
             cur = child;
         }
-        if best.is_some() {
+        if let Some(nh) = best {
             accesses += 1; // next-hop (data pointer) read
+            lines.touch(REGION_NH, nh.0 as usize * NH_DATA_BYTES, NH_DATA_BYTES);
         }
         CountedLookup {
             next_hop: best,
             mem_accesses: accesses,
+            lines_touched: lines.count(),
         }
     }
 

@@ -13,7 +13,7 @@
 //! correct (see `lookup_counted`). Branching never inspects bits past the
 //! shortest string in a range, so no leaf prefix can be skipped over.
 
-use crate::{CountedLookup, DeltaStats, Lpm, BATCH_LANES};
+use crate::{CountedLookup, DeltaStats, LineSet, Lpm, BATCH_LANES};
 use spal_rib::{NextHop, Prefix, RoutingTable};
 use std::collections::{HashMap, HashSet};
 
@@ -25,6 +25,12 @@ pub const BASE_BYTES: usize = 12;
 /// Modelled bytes per prefix-vector entry: length (1) + next hop (2) +
 /// chain pointer (4), padded.
 pub const PREFIX_BYTES: usize = 8;
+
+/// Line-accounting region tags: the node array, the base vector and the
+/// prefix vector are distinct arrays.
+const REGION_NODES: u32 = 0;
+const REGION_BASE: u32 = 1;
+const REGION_PREFIX: u32 = 2;
 
 const NONE: u32 = u32::MAX;
 /// Upper bound on a single node's branch factor (2^20 children), keeping
@@ -729,6 +735,8 @@ impl Lpm for LcTrie {
 impl LcTrie {
     fn lookup_inner(&self, addr: u32) -> CountedLookup {
         let mut accesses = 1u32; // root read
+        let mut lines = LineSet::new();
+        lines.touch(REGION_NODES, 0, NODE_BYTES);
         let mut node = self.nodes[0];
         let mut pos = 0u8;
         while node.branch != 0 {
@@ -736,31 +744,46 @@ impl LcTrie {
             let shift = 32 - pos as u32 - node.branch as u32;
             let idx = ((addr >> shift) as usize) & ((1 << node.branch) - 1);
             pos += node.branch;
+            lines.touch(
+                REGION_NODES,
+                (node.adr as usize + idx) * NODE_BYTES,
+                NODE_BYTES,
+            );
             node = self.nodes[node.adr as usize + idx];
             accesses += 1;
         }
-        self.finish_lookup(addr, node, accesses)
+        self.finish_lookup(addr, node, accesses, lines)
     }
 
     /// Resolve a finished trie walk: base-vector read, full-match test,
     /// then the prefix-chain fallback. Shared between the scalar and
-    /// batch paths so both count accesses identically.
-    fn finish_lookup(&self, addr: u32, node: Node, mut accesses: u32) -> CountedLookup {
+    /// batch paths so both count accesses (and touched lines)
+    /// identically.
+    fn finish_lookup(
+        &self,
+        addr: u32,
+        node: Node,
+        mut accesses: u32,
+        mut lines: LineSet,
+    ) -> CountedLookup {
         if node.adr == NONE {
             return CountedLookup {
                 next_hop: None,
                 mem_accesses: accesses,
+                lines_touched: lines.count(),
             };
         }
         let entry = self.base[node.adr as usize];
         accesses += 1; // base-vector read
-                       // Leading bits on which the address agrees with the leaf string.
+        lines.touch(REGION_BASE, node.adr as usize * BASE_BYTES, BASE_BYTES);
+        // Leading bits on which the address agrees with the leaf string.
         let common = ((addr ^ entry.bits).leading_zeros() as u8).min(32);
         if common >= entry.len {
             // The leaf prefix matches in full: it is the longest match.
             return CountedLookup {
                 next_hop: Some(entry.next_hop),
                 mem_accesses: accesses,
+                lines_touched: lines.count(),
             };
         }
         // Fall back through the chain of internal ancestors: the deepest
@@ -769,10 +792,12 @@ impl LcTrie {
         while chain != NONE {
             let p = self.prefixes[chain as usize];
             accesses += 1; // prefix-vector read
+            lines.touch(REGION_PREFIX, chain as usize * PREFIX_BYTES, PREFIX_BYTES);
             if p.len <= common {
                 return CountedLookup {
                     next_hop: Some(p.next_hop),
                     mem_accesses: accesses,
+                    lines_touched: lines.count(),
                 };
             }
             chain = p.chain;
@@ -780,6 +805,7 @@ impl LcTrie {
         CountedLookup {
             next_hop: None,
             mem_accesses: accesses,
+            lines_touched: lines.count(),
         }
     }
 
@@ -794,6 +820,10 @@ impl LcTrie {
         let mut node = [nodes[0]; BATCH_LANES];
         let mut pos = [0u8; BATCH_LANES];
         let mut acc = [1u32; BATCH_LANES]; // root read
+        let mut lines: [LineSet; BATCH_LANES] = std::array::from_fn(|_| LineSet::new());
+        for l in &mut lines {
+            l.touch(REGION_NODES, 0, NODE_BYTES);
+        }
         loop {
             let mut any = false;
             for l in 0..BATCH_LANES {
@@ -804,6 +834,11 @@ impl LcTrie {
                 let shift = 32 - pos[l] as u32 - node[l].branch as u32;
                 let idx = ((addrs[l] >> shift) as usize) & ((1 << node[l].branch) - 1);
                 pos[l] += node[l].branch;
+                lines[l].touch(
+                    REGION_NODES,
+                    (node[l].adr as usize + idx) * NODE_BYTES,
+                    NODE_BYTES,
+                );
                 node[l] = nodes[node[l].adr as usize + idx];
                 acc[l] += 1;
                 any = true;
@@ -812,7 +847,7 @@ impl LcTrie {
                 break;
             }
         }
-        std::array::from_fn(|l| self.finish_lookup(addrs[l], node[l], acc[l]))
+        std::array::from_fn(|l| self.finish_lookup(addrs[l], node[l], acc[l], lines[l].clone()))
     }
 }
 

@@ -24,7 +24,7 @@
 //! pointer, chunk reads, next-hop table), which on backbone tables lands
 //! near the 6–7 accesses/lookup the paper measures in §5.1.
 
-use crate::{prefetch_slice, CountedLookup, DeltaStats, Lpm, BATCH_LANES};
+use crate::{prefetch_slice, CountedLookup, DeltaStats, LineSet, Lpm, BATCH_LANES};
 use spal_rib::{NextHop, Prefix, RoutingTable};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::OnceLock;
@@ -35,6 +35,33 @@ const CHUNK_SLOTS: usize = 256;
 const L1_BITS: u8 = 16;
 /// Slots at level 1.
 const L1_SLOTS: usize = 1 << 16;
+
+/// Modeled bytes of one interleaved codeword group: a 2 B base index
+/// followed by the four 2 B codewords it serves, packed so a codeword
+/// and the base it needs land in the same cache line.
+const GROUP_BYTES: usize = 10;
+/// Modeled bytes of a dense chunk's packed codeword (no bases).
+const CW_BYTES: usize = 2;
+/// Modeled maptable row: 16 4-bit entries = 8 bytes.
+const MT_ROW_BYTES: usize = 8;
+
+// Line-accounting regions (see [`LineSet`]): distinct arrays carry
+// distinct region ids so their modeled offsets never alias. Each level
+// 2/3 chunk is tagged with its id — every chunk is its own little block
+// of SRAM whose internal layout starts at offset 0.
+const REGION_L1: u32 = 0;
+const REGION_L1PTR: u32 = 1;
+const REGION_MT: u32 = 2;
+const REGION_NH: u32 = 3;
+const REGION_L2_TAG: u32 = 0x4000_0000;
+const REGION_L3_TAG: u32 = 0x8000_0000;
+
+/// Modeled intra-chunk byte offset of the pointer array: sparse chunks
+/// put it after the 8 head bytes, dense after 16 packed codewords,
+/// very dense after 4 interleaved groups.
+const SPARSE_PTR_BASE: usize = 8;
+const DENSE_PTR_BASE: usize = 32;
+const VDENSE_PTR_BASE: usize = 40;
 
 /// A value stored behind a head pointer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,31 +133,46 @@ struct Codeword {
     six: u16,
 }
 
-/// A codeword-compressed bit vector covering `slots` positions, with base
-/// indexes every four codewords when `with_bases` (level 1 and very dense
-/// chunks) or a single implicit base of zero otherwise (dense chunks).
+/// One interleaved group of the coded vector: a base index followed by
+/// the four codewords it serves. Resolving any slot reads its codeword
+/// *and* its base from this one (modeled 10-byte) record, so the two
+/// accesses usually mark a single cache line — the split parallel
+/// codeword/base arrays this replaces cost two lines per level.
+#[derive(Debug, Clone, Copy)]
+struct Group {
+    base: u32,
+    cws: [Codeword; 4],
+}
+
+/// A codeword-compressed bit vector covering `slots` positions, stored
+/// as interleaved base+codeword groups. When `with_bases` (level 1 and
+/// very dense chunks) each group's base is real; otherwise (dense
+/// chunks) bases are implicitly zero and the modeled layout is the
+/// packed 2-byte codewords alone.
 #[derive(Debug, Clone)]
 struct CodedVector {
-    codewords: Vec<Codeword>,
-    bases: Vec<u32>,
+    groups: Vec<Group>,
+    with_bases: bool,
 }
 
 impl CodedVector {
     /// Compress `heads` (one bool per slot). `heads.len()` must be a
-    /// multiple of 16.
+    /// multiple of 64 (four 16-slot codewords per group).
     fn build(heads: &[bool], with_bases: bool) -> Self {
-        assert_eq!(heads.len() % 16, 0);
+        assert_eq!(heads.len() % 64, 0);
         let mt = maptable();
         let n_chunks = heads.len() / 16;
-        let mut codewords = Vec::with_capacity(n_chunks);
-        let mut bases = Vec::new();
+        let mut groups: Vec<Group> = Vec::with_capacity(n_chunks / 4);
         let mut total: u32 = 0; // heads before current chunk
         for j in 0..n_chunks {
-            if with_bases && j % 4 == 0 {
-                bases.push(total);
+            if j % 4 == 0 {
+                groups.push(Group {
+                    base: if with_bases { total } else { 0 },
+                    cws: [Codeword { ten: 0, six: 0 }; 4],
+                });
             }
             let six = if with_bases {
-                total - bases[j / 4]
+                total - groups[j / 4].base
             } else {
                 total
             };
@@ -144,36 +186,47 @@ impl CodedVector {
                 .index
                 .get(&pat)
                 .unwrap_or_else(|| panic!("invalid cut pattern {pat:#018b}"));
-            codewords.push(Codeword {
+            groups[j / 4].cws[j % 4] = Codeword {
                 ten,
                 six: six as u16,
-            });
+            };
             total += pat.count_ones();
         }
-        CodedVector { codewords, bases }
+        CodedVector { groups, with_bases }
+    }
+
+    /// Codeword `j` (each codeword covers 16 slots).
+    #[inline]
+    fn cw(&self, j: usize) -> Codeword {
+        self.groups[j / 4].cws[j % 4]
+    }
+
+    /// Base index governing codeword `j`.
+    #[inline]
+    fn base(&self, j: usize) -> u32 {
+        self.groups[j / 4].base
+    }
+
+    /// Number of codewords.
+    fn n_codewords(&self) -> usize {
+        self.groups.len() * 4
     }
 
     /// Index of the head governing slot `pos`, and the number of memory
-    /// accesses performed (codeword, base when present, maptable).
-    #[inline]
-    fn head_index(&self, pos: usize) -> (usize, u32) {
-        self.head_index_mt(maptable(), pos)
-    }
-
-    /// [`CodedVector::head_index`] with the maptable passed in, so batch
-    /// callers resolve the `OnceLock` once per group instead of once per
-    /// lane.
+    /// accesses performed (codeword, base when present, maptable), with
+    /// the maptable passed in so batch callers resolve the `OnceLock`
+    /// once per group instead of once per lane.
     #[inline]
     fn head_index_mt(&self, mt: &MapTable, pos: usize) -> (usize, u32) {
         let chunk = pos / 16;
         let within = pos % 16;
-        let cw = self.codewords[chunk];
+        let cw = self.cw(chunk);
         let mut accesses = 1; // codeword read
-        let base = if self.bases.is_empty() {
-            0
-        } else {
+        let base = if self.with_bases {
             accesses += 1; // base index read
-            self.bases[chunk / 4]
+            self.base(chunk)
+        } else {
+            0
         };
         let count = mt.rows[cw.ten as usize][within] as u32;
         accesses += 1; // maptable read
@@ -181,24 +234,53 @@ impl CodedVector {
         (idx as usize, accesses)
     }
 
-    /// [`CodedVector::head_index`] without the access bookkeeping, for
-    /// the uncounted [`Lpm::lookup`] fast path.
+    /// [`CodedVector::head_index_mt`] with cache-line accounting: the
+    /// codeword and its base live in one interleaved group record, so
+    /// the two reads usually mark a single line; the maptable row is a
+    /// second region.
+    #[inline]
+    fn head_index_lines(
+        &self,
+        mt: &MapTable,
+        pos: usize,
+        region: u32,
+        lines: &mut LineSet,
+    ) -> (usize, u32) {
+        let chunk = pos / 16;
+        if self.with_bases {
+            lines.touch(region, (chunk / 4) * GROUP_BYTES, GROUP_BYTES);
+        } else {
+            lines.touch(region, chunk * CW_BYTES, CW_BYTES);
+        }
+        let cw = self.cw(chunk);
+        lines.touch(
+            REGION_MT,
+            cw.ten as usize * MT_ROW_BYTES + (pos % 16) / 2,
+            1,
+        );
+        self.head_index_mt(mt, pos)
+    }
+
+    /// [`CodedVector::head_index_mt`] without the access bookkeeping,
+    /// for the uncounted [`Lpm::lookup`] fast path.
     #[inline]
     fn head_index_plain(&self, pos: usize) -> usize {
         let chunk = pos / 16;
-        let cw = self.codewords[chunk];
-        let base = if self.bases.is_empty() {
-            0
-        } else {
-            self.bases[chunk / 4]
-        };
+        let cw = self.cw(chunk);
+        let base = if self.with_bases { self.base(chunk) } else { 0 };
         let count = maptable().rows[cw.ten as usize][pos % 16] as u32;
         (base + cw.six as u32 + count - 1) as usize
     }
 
-    /// Modelled bytes: 2 per codeword, 2 per base index.
+    /// Modelled bytes: 2 per codeword, 2 per base index — interleaving
+    /// changes the layout, not the size.
     fn model_bytes(&self) -> usize {
-        self.codewords.len() * 2 + self.bases.len() * 2
+        self.groups.len()
+            * if self.with_bases {
+                GROUP_BYTES
+            } else {
+                4 * CW_BYTES
+            }
     }
 }
 
@@ -249,9 +331,17 @@ impl Chunk {
     }
 
     /// Resolve the 8 address bits `pos` within this chunk: the governing
-    /// pointer and the access count.
-    fn resolve(&self, pos: usize) -> (Val, u32) {
-        let (ptrs, idx, accesses) = self.locate(maptable(), pos);
+    /// pointer and the access count, with cache-line accounting under
+    /// the chunk's modeled layout (`region` tags this chunk's block).
+    fn resolve_lines(
+        &self,
+        mt: &MapTable,
+        pos: usize,
+        region: u32,
+        lines: &mut LineSet,
+    ) -> (Val, u32) {
+        let (ptrs, idx, accesses, ptr_base) = self.locate_lines(mt, pos, region, lines);
+        lines.touch(region, ptr_base + idx * 2, 2);
         (ptrs[idx], accesses + 1) // + pointer read
     }
 
@@ -282,6 +372,38 @@ impl Chunk {
         }
     }
 
+    /// [`Chunk::locate`] with cache-line accounting. Also returns the
+    /// modeled byte offset of the pointer array within this chunk's
+    /// block, so the caller can mark the deferred pointer read's line
+    /// when it performs that read.
+    #[inline]
+    fn locate_lines(
+        &self,
+        mt: &MapTable,
+        pos: usize,
+        region: u32,
+        lines: &mut LineSet,
+    ) -> (&[Val], usize, u32, usize) {
+        match self {
+            Chunk::Sparse { heads, ptrs } => {
+                lines.touch(region, 0, SPARSE_PTR_BASE); // the 8 head bytes
+                let mut rank = 0usize;
+                for &h in heads {
+                    rank += (h as usize <= pos) as usize;
+                }
+                (ptrs, rank.saturating_sub(1), 1, SPARSE_PTR_BASE)
+            }
+            Chunk::Dense { vec, ptrs } => {
+                let (idx, accesses) = vec.head_index_lines(mt, pos, region, lines);
+                (ptrs, idx, accesses, DENSE_PTR_BASE)
+            }
+            Chunk::VeryDense { vec, ptrs } => {
+                let (idx, accesses) = vec.head_index_lines(mt, pos, region, lines);
+                (ptrs, idx, accesses, VDENSE_PTR_BASE)
+            }
+        }
+    }
+
     /// Prefetch the chunk-internal arrays a lookup of `pos` will read.
     /// Reads only the chunk header (which the caller has already
     /// prefetched a stage earlier), so issuing this one lane pass before
@@ -295,10 +417,8 @@ impl Chunk {
                 prefetch_slice(ptrs, 0);
             }
             Chunk::Dense { vec, .. } | Chunk::VeryDense { vec, .. } => {
-                prefetch_slice(&vec.codewords, pos / 16);
-                if !vec.bases.is_empty() {
-                    prefetch_slice(&vec.bases, pos / 16 / 4);
-                }
+                // One group record holds the codeword and its base.
+                prefetch_slice(&vec.groups, pos / 64);
             }
         }
     }
@@ -655,12 +775,12 @@ impl LuleaTrie {
         let mt = maptable();
         let g0 = lo / 16;
         let g1 = (lo + size - 1) / 16;
-        let mut cum: u32 = self.l1.bases[g0 / 4] + self.l1.codewords[g0].six as u32;
+        let mut cum: u32 = self.l1.base(g0) + self.l1.cw(g0).six as u32;
         for g in g0..=g1 {
             if g % 4 == 0 {
-                self.l1.bases[g / 4] = cum;
+                self.l1.groups[g / 4].base = cum;
             }
-            let six = cum - self.l1.bases[g / 4];
+            let six = cum - self.l1.groups[g / 4].base;
             let mut pat: u16 = 0;
             for p in 0..16 {
                 if self.upd.heads[g * 16 + p] {
@@ -671,7 +791,7 @@ impl LuleaTrie {
                 .index
                 .get(&pat)
                 .unwrap_or_else(|| panic!("invalid cut pattern {pat:#018b}"));
-            self.l1.codewords[g] = Codeword {
+            self.l1.groups[g / 4].cws[g % 4] = Codeword {
                 ten,
                 six: six as u16,
             };
@@ -681,14 +801,15 @@ impl LuleaTrie {
         let mut bases_shifted = 0usize;
         if delta != 0 {
             let mut g = g1 + 1;
-            while g < self.l1.codewords.len() && g % 4 != 0 {
-                self.l1.codewords[g].six = (self.l1.codewords[g].six as i64 + delta) as u16;
+            while g < self.l1.n_codewords() && g % 4 != 0 {
+                let cw = &mut self.l1.groups[g / 4].cws[g % 4];
+                cw.six = (cw.six as i64 + delta) as u16;
                 g += 1;
             }
-            for k in (g1 / 4 + 1)..self.l1.bases.len() {
-                self.l1.bases[k] = (self.l1.bases[k] as i64 + delta) as u32;
+            for k in (g1 / 4 + 1)..self.l1.groups.len() {
+                self.l1.groups[k].base = (self.l1.groups[k].base as i64 + delta) as u32;
             }
-            bases_shifted = self.l1.bases.len().saturating_sub(g1 / 4 + 1);
+            bases_shifted = self.l1.groups.len().saturating_sub(g1 / 4 + 1);
         }
         // Modelled bytes: codewords and bases at 2 B each, spliced-in
         // pointers at 2 B each. (The pointer-array tail compaction a
@@ -942,32 +1063,37 @@ impl LuleaTrie {
         mt: &MapTable,
         chunks: &[Chunk],
         next: Option<&[Chunk]>,
+        region_tag: u32,
         addrs: &[u32; N],
         val: &mut [Val; N],
         acc: &mut [u32; N],
+        lines: &mut [LineSet; N],
         shift: u32,
     ) -> usize {
-        let mut cur: [Option<&Chunk>; N] = [None; N];
+        let mut cur: [Option<(&Chunk, u32)>; N] = [None; N];
         for l in 0..N {
             if let Val::Sub(id) = val[l] {
                 let chunk = &chunks[id as usize];
                 chunk.prefetch_inner(((addrs[l] >> shift) & 0xFF) as usize);
-                cur[l] = Some(chunk);
+                cur[l] = Some((chunk, region_tag | id));
             }
         }
-        let mut located: [Option<(&[Val], usize)>; N] = [None; N];
+        // (pointer array, index, pointer base offset, region tag)
+        type Located<'a> = (&'a [Val], usize, usize, u32);
+        let mut located: [Option<Located>; N] = [None; N];
         for l in 0..N {
-            if let Some(chunk) = cur[l] {
+            if let Some((chunk, region)) = cur[l] {
                 let pos = ((addrs[l] >> shift) & 0xFF) as usize;
-                let (ptrs, idx, a) = chunk.locate(mt, pos);
+                let (ptrs, idx, a, ptr_base) = chunk.locate_lines(mt, pos, region, &mut lines[l]);
                 prefetch_slice(ptrs, idx);
-                located[l] = Some((ptrs, idx));
+                located[l] = Some((ptrs, idx, ptr_base, region));
                 acc[l] += a + 1; // + the pointer read performed below
             }
         }
         let mut descending = 0;
         for l in 0..N {
-            if let Some((ptrs, idx)) = located[l] {
+            if let Some((ptrs, idx, ptr_base, region)) = located[l] {
+                lines[l].touch(region, ptr_base + idx * 2, 2);
                 let v = ptrs[idx];
                 val[l] = v;
                 match v {
@@ -987,14 +1113,18 @@ impl LuleaTrie {
 
     fn lookup_group<const N: usize>(&self, addrs: [u32; N]) -> [CountedLookup; N] {
         for &a in &addrs {
-            prefetch_slice(&self.l1.codewords, (a >> 16) as usize / 16);
+            prefetch_slice(&self.l1.groups, (a >> 16) as usize / 64);
         }
         let mt = maptable();
         let mut val = [Val::Miss; N];
         let mut acc = [0u32; N];
+        let mut lines: [LineSet; N] = std::array::from_fn(|_| LineSet::new());
         let mut descending = 0;
         for l in 0..N {
-            let (head, a) = self.l1.head_index_mt(mt, (addrs[l] >> 16) as usize);
+            let (head, a) =
+                self.l1
+                    .head_index_lines(mt, (addrs[l] >> 16) as usize, REGION_L1, &mut lines[l]);
+            lines[l].touch(REGION_L1PTR, head * 2, 2);
             let v = self.l1_ptrs[head];
             val[l] = v;
             acc[l] = a + 1; // pointer read
@@ -1008,10 +1138,29 @@ impl LuleaTrie {
             }
         }
         if descending > 0 {
-            let deeper =
-                self.descend_group(mt, &self.l2, Some(&self.l3), &addrs, &mut val, &mut acc, 8);
+            let deeper = self.descend_group(
+                mt,
+                &self.l2,
+                Some(&self.l3),
+                REGION_L2_TAG,
+                &addrs,
+                &mut val,
+                &mut acc,
+                &mut lines,
+                8,
+            );
             if deeper > 0 {
-                self.descend_group(mt, &self.l3, None, &addrs, &mut val, &mut acc, 0);
+                self.descend_group(
+                    mt,
+                    &self.l3,
+                    None,
+                    REGION_L3_TAG,
+                    &addrs,
+                    &mut val,
+                    &mut acc,
+                    &mut lines,
+                    0,
+                );
             }
         }
         let mut out = [CountedLookup::MISS; N];
@@ -1020,11 +1169,16 @@ impl LuleaTrie {
                 Val::Miss => CountedLookup {
                     next_hop: None,
                     mem_accesses: acc[l],
+                    lines_touched: lines[l].count(),
                 },
-                Val::Nh(i) => CountedLookup {
-                    next_hop: Some(self.next_hops[i as usize]),
-                    mem_accesses: acc[l] + 1, // next-hop table read
-                },
+                Val::Nh(i) => {
+                    lines[l].touch(REGION_NH, i as usize * 4, 4);
+                    CountedLookup {
+                        next_hop: Some(self.next_hops[i as usize]),
+                        mem_accesses: acc[l] + 1, // next-hop table read
+                        lines_touched: lines[l].count(),
+                    }
+                }
                 Val::Sub(_) => unreachable!("level 3 never points deeper"),
             };
         }
@@ -1074,19 +1228,24 @@ impl Lpm for LuleaTrie {
     }
 
     fn lookup_counted(&self, addr: u32) -> CountedLookup {
+        let mt = maptable();
+        let mut lines = LineSet::new();
         let ix = (addr >> 16) as usize;
-        let (head, mut accesses) = self.l1.head_index(ix);
+        let (head, mut accesses) = self.l1.head_index_lines(mt, ix, REGION_L1, &mut lines);
+        lines.touch(REGION_L1PTR, head * 2, 2);
         let mut val = self.l1_ptrs[head];
         accesses += 1; // pointer read
         if let Val::Sub(id) = val {
             let pos = ((addr >> 8) & 0xFF) as usize;
-            let (v, a) = self.l2[id as usize].resolve(pos);
+            let (v, a) =
+                self.l2[id as usize].resolve_lines(mt, pos, REGION_L2_TAG | id, &mut lines);
             val = v;
             accesses += a;
         }
         if let Val::Sub(id) = val {
             let pos = (addr & 0xFF) as usize;
-            let (v, a) = self.l3[id as usize].resolve(pos);
+            let (v, a) =
+                self.l3[id as usize].resolve_lines(mt, pos, REGION_L3_TAG | id, &mut lines);
             val = v;
             accesses += a;
         }
@@ -1094,11 +1253,16 @@ impl Lpm for LuleaTrie {
             Val::Miss => CountedLookup {
                 next_hop: None,
                 mem_accesses: accesses,
+                lines_touched: lines.count(),
             },
-            Val::Nh(i) => CountedLookup {
-                next_hop: Some(self.next_hops[i as usize]),
-                mem_accesses: accesses + 1, // next-hop table read
-            },
+            Val::Nh(i) => {
+                lines.touch(REGION_NH, i as usize * 4, 4);
+                CountedLookup {
+                    next_hop: Some(self.next_hops[i as usize]),
+                    mem_accesses: accesses + 1, // next-hop table read
+                    lines_touched: lines.count(),
+                }
+            }
             Val::Sub(_) => unreachable!("level 3 never points deeper"),
         }
     }

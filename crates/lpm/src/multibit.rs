@@ -11,10 +11,17 @@
 //! expansion that removes backtracking: lookup inspects exactly one
 //! entry per level.
 
-use crate::{CountedLookup, DeltaStats, Lpm, BATCH_LANES};
+use crate::{CountedLookup, DeltaStats, LineSet, Lpm, BATCH_LANES};
 use spal_rib::{NextHop, Prefix, RouteEntry, RoutingTable};
 
 const NO_CHILD: u32 = u32::MAX;
+
+/// Modeled bytes per slot (2 B result + 4 B child pointer — the storage
+/// model), used for both `storage_bytes` and line accounting.
+const SLOT_BYTES: usize = 6;
+
+/// Line-accounting region tag: the slot arena (the only array read).
+const REGION_SLOTS: u32 = 0;
 
 /// One slot of a multibit node.
 #[derive(Debug, Clone, Copy)]
@@ -152,6 +159,7 @@ impl MultibitTrie {
         let mut best: [Option<NextHop>; BATCH_LANES] = [None; BATCH_LANES];
         let mut acc = [0u32; BATCH_LANES];
         let mut active = [true; BATCH_LANES];
+        let mut lines: [LineSet; BATCH_LANES] = std::array::from_fn(|_| LineSet::new());
         for level in 0..self.strides.len() {
             let stride = self.strides[level];
             for l in 0..BATCH_LANES {
@@ -162,6 +170,7 @@ impl MultibitTrie {
                 let idx = (addrs[l] >> (32 - consumed[l] - stride)) as usize & ((1 << stride) - 1);
                 let slot = self.slots[base + idx];
                 acc[l] += 1; // one slot read per level
+                lines[l].touch(REGION_SLOTS, (base + idx) * SLOT_BYTES, SLOT_BYTES);
                 if slot.result.is_some() {
                     best[l] = slot.result;
                 }
@@ -179,6 +188,7 @@ impl MultibitTrie {
         std::array::from_fn(|l| CountedLookup {
             next_hop: best[l],
             mem_accesses: acc[l].max(1),
+            lines_touched: lines[l].count().max(1),
         })
     }
 
@@ -299,12 +309,14 @@ impl Lpm for MultibitTrie {
         let mut consumed = 0u8;
         let mut best: Option<NextHop> = None;
         let mut accesses = 0u32;
+        let mut lines = LineSet::new();
         for level in 0..self.strides.len() {
             let stride = self.strides[level];
             let base = self.nodes[node as usize].base;
             let idx = (addr >> (32 - consumed - stride)) as usize & ((1 << stride) - 1);
             let slot = self.slots[base + idx];
             accesses += 1; // one slot read per level
+            lines.touch(REGION_SLOTS, (base + idx) * SLOT_BYTES, SLOT_BYTES);
             if slot.result.is_some() {
                 best = slot.result;
             }
@@ -317,6 +329,7 @@ impl Lpm for MultibitTrie {
         CountedLookup {
             next_hop: best,
             mem_accesses: accesses.max(1),
+            lines_touched: lines.count().max(1),
         }
     }
 
@@ -342,7 +355,7 @@ impl Lpm for MultibitTrie {
     fn storage_bytes(&self) -> usize {
         // Per slot: 2 B result + 4 B child pointer (result_len is build
         // metadata, not needed at lookup time).
-        self.slots.len() * 6
+        self.slots.len() * SLOT_BYTES
     }
 
     fn name(&self) -> &'static str {

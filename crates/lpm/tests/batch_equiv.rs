@@ -11,6 +11,7 @@ use spal_lpm::dp::DpTrie;
 use spal_lpm::lctrie::LcTrie;
 use spal_lpm::lulea::LuleaTrie;
 use spal_lpm::multibit::MultibitTrie;
+use spal_lpm::poptrie::Poptrie;
 use spal_lpm::{CountedLookup, Lpm};
 use spal_rib::synth;
 
@@ -55,12 +56,21 @@ fn check_engine(lpm: &dyn Lpm, addrs: &[u32], batch: usize) -> Result<(), TestCa
             addr,
             batch
         );
+        prop_assert_eq!(
+            got.lines_touched,
+            want.lines_touched,
+            "{}: line count diverged at index {} addr {:#010x} (batch size {})",
+            lpm.name(),
+            i,
+            addr,
+            batch
+        );
     }
     Ok(())
 }
 
 proptest! {
-    // Each case builds six engines over a fresh table; keep the count
+    // Each case builds seven engines over a fresh table; keep the count
     // modest — the address/batch-size space inside a case is wide.
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -79,6 +89,7 @@ proptest! {
             Box::new(BinaryTrie::build(&table)),
             Box::new(DpTrie::build(&table)),
             Box::new(MultibitTrie::build_16_8_8(&table)),
+            Box::new(Poptrie::build(&table)),
         ];
         for lpm in &engines {
             check_engine(lpm.as_ref(), &addrs, batch)?;

@@ -13,6 +13,7 @@ use spal_lpm::dp::DpTrie;
 use spal_lpm::lctrie::LcTrie;
 use spal_lpm::lulea::LuleaTrie;
 use spal_lpm::multibit::MultibitTrie;
+use spal_lpm::poptrie::Poptrie;
 use spal_lpm::Lpm;
 use spal_rib::updates::{update_stream, Update, UpdateStreamConfig};
 use spal_rib::{synth, Prefix, RoutingTable};
@@ -124,7 +125,7 @@ fn replay_deltas<L: Lpm>(
 }
 
 proptest! {
-    // Four static engines × a whole stream each; modest case count.
+    // Five static engines × a whole stream each; modest case count.
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// The compressed/static engines must be lookup-identical to a fresh
@@ -153,20 +154,24 @@ proptest! {
         let mut dir24 = Dir24_8::build(&base);
         let mut lct = LcTrie::build(&base);
         let mut mb = MultibitTrie::build_16_8_8(&base);
+        let mut pop = Poptrie::build(&base);
 
         let r1 = replay_deltas(&mut lulea, &LuleaTrie::build, &base, &updates, batch);
         let r2 = replay_deltas(&mut dir24, &Dir24_8::build, &base, &updates, batch);
         let r3 = replay_deltas(&mut lct, &LcTrie::build, &base, &updates, batch);
         let r4 = replay_deltas(&mut mb, &MultibitTrie::build_16_8_8, &base, &updates, batch);
+        let r5 = replay_deltas(&mut pop, &Poptrie::build, &base, &updates, batch);
         prop_assert_eq!(r1.len(), fin.len());
         prop_assert_eq!(r2.len(), fin.len());
         prop_assert_eq!(r3.len(), fin.len());
         prop_assert_eq!(r4.len(), fin.len());
+        prop_assert_eq!(r5.len(), fin.len());
 
         let lulea_fresh = LuleaTrie::build(&fin);
         let dir24_fresh = Dir24_8::build(&fin);
         let lct_fresh = LcTrie::build(&fin);
         let mb_fresh = MultibitTrie::build_16_8_8(&fin);
+        let pop_fresh = Poptrie::build(&fin);
 
         for &addr in &probe_addrs(&fin, &random_probes) {
             let oracle = fin.longest_match(addr).map(|e| e.next_hop);
@@ -187,6 +192,10 @@ proptest! {
                 "multibit delta-patched diverged from table oracle at {:#010x}", addr
             );
             prop_assert_eq!(
+                pop.lookup(addr), oracle,
+                "Poptrie delta-patched diverged from table oracle at {:#010x}", addr
+            );
+            prop_assert_eq!(
                 lulea.lookup(addr), lulea_fresh.lookup(addr),
                 "Lulea delta-patched vs fresh build diverged at {:#010x}", addr
             );
@@ -201,6 +210,10 @@ proptest! {
             prop_assert_eq!(
                 mb.lookup(addr), mb_fresh.lookup(addr),
                 "multibit delta-patched vs fresh build diverged at {:#010x}", addr
+            );
+            prop_assert_eq!(
+                pop.lookup(addr), pop_fresh.lookup(addr),
+                "Poptrie delta-patched vs fresh build diverged at {:#010x}", addr
             );
         }
     }
