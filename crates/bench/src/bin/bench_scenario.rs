@@ -1,0 +1,167 @@
+//! **Operational-scenario gate**: runs the scripted episodes from
+//! `spal_dataplane::scenario` — LC failure with online
+//! re-partitioning, flash crowd, sustained overload, and the
+//! deterministic soak — and fails if any scenario's hard gates fail
+//! (zero oracle divergence always; recovery, drop-accounting, and
+//! queue-bound gates per scenario).
+//!
+//! Results go to `BENCH_scenario.json` (one row per scenario, the
+//! scenario's own flat JSON row), and one dated row per scenario is
+//! appended to `results/trajectory.jsonl` so regressions in recovery
+//! time or overload behaviour are visible across runs.
+//!
+//! `bench_scenario --quick` runs the CI-sized variants. Flags:
+//! `--seed N`, `--out PATH`, `--trajectory PATH`.
+
+use spal_dataplane::{run_scenario, ScenarioConfig, ScenarioKind};
+use std::io::Write;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+struct Options {
+    quick: bool,
+    seed: u64,
+    out: Option<String>,
+    trajectory: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        seed: 7,
+        out: None,
+        trajectory: None,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--out" => {
+                i += 1;
+                opts.out = Some(args.get(i).expect("--out needs a path").clone());
+            }
+            "--trajectory" => {
+                i += 1;
+                opts.trajectory = Some(args.get(i).expect("--trajectory needs a path").clone());
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Civil date from a unix timestamp (proleptic Gregorian, UTC) —
+/// enough for a trajectory row's date stamp, with no date dependency.
+fn civil_date(unix_secs: u64) -> (u64, u64, u64) {
+    // Howard Hinnant's days-from-civil inverted: shift the epoch to
+    // March 1, year 0, where leap days sit at the end of the year.
+    let days = unix_secs / 86_400 + 719_468;
+    let era = days / 146_097;
+    let doe = days % 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn main() {
+    let opts = parse_args();
+    println!(
+        "bench_scenario: seed {}{}",
+        opts.seed,
+        if opts.quick { " (quick)" } else { "" }
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for kind in ScenarioKind::ALL {
+        let mut cfg = ScenarioConfig::new(kind, opts.quick);
+        cfg.seed = opts.seed;
+        let result = run_scenario(&cfg);
+        println!("  {}", result.summary());
+        if !result.passed() {
+            failures.push(format!(
+                "{}: {}",
+                kind.name(),
+                result.gate_failures.join("; ")
+            ));
+        }
+        rows.push(result.json_row());
+    }
+
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scenario.json");
+    let out = opts.out.as_deref().unwrap_or(default_out);
+    let mut body = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str("  ");
+        body.push_str(row);
+        body.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    body.push_str("]\n");
+    std::fs::write(out, body).expect("writing scenario JSON");
+    println!("wrote {} rows to {out}", rows.len());
+
+    // Cross-run trajectory: one dated line per scenario, append-only,
+    // so recovery time / drop accounting can be compared across runs.
+    let default_traj = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/trajectory.jsonl"
+    );
+    let traj = opts.trajectory.as_deref().unwrap_or(default_traj);
+    let unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_date(unix);
+    if let Some(dir) = std::path::Path::new(traj).parent() {
+        std::fs::create_dir_all(dir).expect("creating trajectory dir");
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(traj)
+        .expect("opening trajectory file");
+    for row in &rows {
+        // Splice the date into the scenario's own row: every line in
+        // the trajectory stays self-describing.
+        let dated = row.replacen(
+            "{ ",
+            &format!("{{ \"date\": \"{y:04}-{m:02}-{d:02}\", \"unix\": {unix}, "),
+            1,
+        );
+        writeln!(f, "{dated}").expect("appending trajectory row");
+    }
+    println!("appended {} rows to {traj}", rows.len());
+
+    if !failures.is_empty() {
+        eprintln!("bench_scenario FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench_scenario passed");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::civil_date;
+
+    #[test]
+    fn civil_date_known_values() {
+        assert_eq!(civil_date(0), (1970, 1, 1));
+        assert_eq!(civil_date(951_782_400), (2000, 2, 29));
+        assert_eq!(civil_date(1_754_611_200), (2025, 8, 8));
+    }
+}

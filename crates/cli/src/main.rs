@@ -43,6 +43,7 @@ fn main() {
         "analyze-trace" => cmd_analyze_trace(&args),
         "simulate" => cmd_simulate(&args),
         "dataplane" => cmd_dataplane(&args),
+        "scenario" => cmd_scenario(&args),
         other => Err(ArgError(format!(
             "unknown command {other:?}; try 'spal help'"
         ))),
@@ -85,6 +86,14 @@ commands:
              --faults injects seed-driven message drops/delays/dups and
              worker stalls (implies --deterministic) and exits non-zero
              on any oracle divergence
+  scenario   NAME|all [--quick] [--workers N] [--packets N] [--seed S]
+             [--json] [--out FILE]
+             run a scripted operational episode against the live
+             dataplane and grade it against hard gates; exits non-zero
+             when any gate fails. NAME is one of lc-failure (kill an LC
+             mid-traffic, online re-partitioning), flash-crowd,
+             overload, soak (deterministic long-horizon mix). --out
+             appends one JSON row per scenario
 
 presets: D_75 D_81 L_92-0 L_92-1 B_L"
     );
@@ -461,6 +470,85 @@ fn cmd_dataplane(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError(format!(
             "{} oracle divergences — dataplane disagreed with the scalar full-table oracle",
             report.oracle_divergence()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_scenario(args: &Args) -> Result<(), ArgError> {
+    use spal_dataplane::{run_scenario, ScenarioConfig, ScenarioKind};
+
+    let names: Vec<&str> = ScenarioKind::ALL.iter().map(|k| k.name()).collect();
+    let which = args
+        .positional()
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| {
+            ArgError(format!(
+                "scenario needs a name: {} or all",
+                names.join(", ")
+            ))
+        })?;
+    let kinds: Vec<ScenarioKind> = if which == "all" {
+        ScenarioKind::ALL.to_vec()
+    } else {
+        vec![ScenarioKind::from_name(which).ok_or_else(|| {
+            ArgError(format!(
+                "unknown scenario {which:?}; expected {} or all",
+                names.join(", ")
+            ))
+        })?]
+    };
+
+    let quick = args.has("quick");
+    let mut rows = Vec::new();
+    let mut failed = Vec::new();
+    for kind in kinds {
+        let mut cfg = ScenarioConfig::new(kind, quick);
+        cfg.workers = args.get_or("workers", cfg.workers)?;
+        cfg.packets = args.get_or("packets", cfg.packets)?;
+        cfg.seed = args.get_or("seed", cfg.seed)?;
+        if cfg.workers < 2 {
+            return Err(ArgError("scenarios need --workers >= 2".into()));
+        }
+        eprintln!(
+            "scenario {}: workers={} packets/worker={}{}",
+            kind.name(),
+            cfg.workers,
+            cfg.packets,
+            if quick { " (quick)" } else { "" },
+        );
+        let result = run_scenario(&cfg);
+        if args.has("json") {
+            println!("{}", result.json_row());
+        } else {
+            println!("{}", result.summary());
+        }
+        rows.push(result.json_row());
+        if !result.passed() {
+            failed.push(format!(
+                "{}: {}",
+                kind.name(),
+                result.gate_failures.join("; ")
+            ));
+        }
+    }
+    if let Some(path) = args.get("out") {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+        for row in &rows {
+            writeln!(f, "{row}").map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        }
+        eprintln!("appended {} row(s) to {path}", rows.len());
+    }
+    if !failed.is_empty() {
+        return Err(ArgError(format!(
+            "scenario gates failed: {}",
+            failed.join(" | ")
         )));
     }
     Ok(())

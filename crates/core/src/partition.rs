@@ -158,6 +158,57 @@ impl Partitioning {
         let tables = self.forwarding_tables(table);
         PartitionStats::of(table.len(), tables.iter().map(|t| t.len()))
     }
+
+    /// Successor partitioning after line card `dead` fails: every bit
+    /// group homed on `dead` is re-assigned greedily (biggest group
+    /// first) to the least-loaded survivor, leaving every other group's
+    /// home untouched — so a failover invalidates only the moved range.
+    ///
+    /// `dead_fragment` is the failed LC's forwarding-table fragment
+    /// (the group sizes being moved are counted from it) and
+    /// `survivor_loads[lc]` the current fragment size of each LC (the
+    /// entry at `dead` is ignored). Deterministic for equal inputs.
+    ///
+    /// # Panics
+    /// Panics if `psi < 2`, `dead` is out of range, or `survivor_loads`
+    /// is not ψ long.
+    pub fn remap_without(
+        &self,
+        dead: u16,
+        dead_fragment: &RoutingTable,
+        survivor_loads: &[usize],
+    ) -> Partitioning {
+        assert!(self.psi >= 2, "cannot remap the only LC away");
+        assert!((dead as usize) < self.psi, "dead LC out of range");
+        assert_eq!(survivor_loads.len(), self.psi, "one load per LC");
+        let mut sizes = vec![0usize; self.groups()];
+        for e in dead_fragment {
+            for g in groups_of_prefix(&self.bits, e.prefix) {
+                if self.group_to_lc[g] == dead {
+                    sizes[g] += 1;
+                }
+            }
+        }
+        let mut moved: Vec<usize> = (0..self.groups())
+            .filter(|&g| self.group_to_lc[g] == dead)
+            .collect();
+        moved.sort_by_key(|&g| std::cmp::Reverse(sizes[g]));
+        let mut load = survivor_loads.to_vec();
+        let mut group_to_lc = self.group_to_lc.clone();
+        for g in moved {
+            let lc = (0..self.psi)
+                .filter(|&l| l != dead as usize)
+                .min_by_key(|&l| (load[l], l))
+                .expect("psi >= 2 leaves a survivor");
+            group_to_lc[g] = lc as u16;
+            load[lc] += sizes[g];
+        }
+        Partitioning {
+            bits: self.bits.clone(),
+            group_to_lc,
+            psi: self.psi,
+        }
+    }
 }
 
 /// Greedy group→LC balancing: biggest group to the least-loaded LC, ties
@@ -451,6 +502,56 @@ mod tests {
     fn duplicate_bits_rejected() {
         let rt = synth::small(1);
         let _ = Partitioning::new(&rt, vec![3, 3], 4);
+    }
+
+    #[test]
+    fn remap_moves_only_dead_groups_and_stays_correct() {
+        let rt = synth::small(11);
+        let bits = crate::bits::select_bits(&rt, 3);
+        let part = Partitioning::new(&rt, bits, 4);
+        let tables = part.forwarding_tables(&rt);
+        let loads: Vec<usize> = tables.iter().map(|t| t.len()).collect();
+        let dead = 1u16;
+        let next = part.remap_without(dead, &tables[dead as usize], &loads);
+        // Groups not homed on the dead LC keep their home; the dead
+        // LC's groups all land on survivors.
+        for g in 0..part.groups() {
+            if part.lc_of_group(g) == dead {
+                assert_ne!(next.lc_of_group(g), dead, "group {g} still on dead LC");
+            } else {
+                assert_eq!(next.lc_of_group(g), part.lc_of_group(g));
+            }
+        }
+        // No address is ever homed on the dead LC again, and the home
+        // lookup stays equal to the full-table LPM.
+        let next_tables = next.forwarding_tables(&rt);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..500 {
+            let addr: u32 = rng.gen();
+            let home = next.home_of(addr);
+            assert_ne!(home, dead);
+            assert_eq!(
+                next_tables[home as usize]
+                    .longest_match(addr)
+                    .map(|e| e.next_hop),
+                rt.longest_match(addr).map(|e| e.next_hop),
+                "addr {addr:#010x}"
+            );
+        }
+        // Deterministic: same inputs, same mapping.
+        let again = part.remap_without(dead, &tables[dead as usize], &loads);
+        for g in 0..part.groups() {
+            assert_eq!(next.lc_of_group(g), again.lc_of_group(g));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn remap_rejects_single_lc() {
+        let rt = synth::small(3);
+        let part = Partitioning::new(&rt, vec![], 1);
+        let _ = part.remap_without(0, &rt, &[rt.len()]);
     }
 
     #[test]

@@ -18,19 +18,28 @@
 //! * [`vcache`] — the version-gated LR-cache (stale fabric replies are
 //!   never cached);
 //! * [`fault`] — deterministic, seed-driven fault injection for the
-//!   fabric and workers.
+//!   fabric and workers;
+//! * [`scenario`] — scripted operational episodes (LC failure with
+//!   online re-partitioning, flash crowd, sustained overload, soak)
+//!   run against the live dataplane, with gated reports.
 
 pub mod epoch;
 pub mod fault;
 pub mod report;
 pub mod runtime;
+pub mod scenario;
 pub mod vcache;
 
 pub use epoch::{epoch_table, EpochReader, EpochWriter, Pinned};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use report::{
-    ChurnReport, CoherenceSummary, DataplaneReport, FaultReport, LatencyHisto, LatencySummary,
-    PathLatency, TailSummary, WorkerReport,
+    ChurnReport, CoherenceSummary, DataplaneReport, FailoverSummary, FaultReport, LatencyHisto,
+    LatencySummary, PathLatency, SweepSummary, TailSummary, WorkerReport,
 };
-pub use runtime::{run, ChurnConfig, DataplaneConfig, InvalidationMode};
+pub use runtime::{
+    run, ChurnConfig, DataplaneConfig, FailoverPlan, InvalidationMode, OverloadConfig,
+};
+pub use scenario::{
+    run_scenario, LiveProbe, RecoverySummary, ScenarioConfig, ScenarioKind, ScenarioReport,
+};
 pub use vcache::{VersionedCache, VersionedFill};

@@ -201,6 +201,28 @@ pub struct WorkerReport {
     pub batch_requests_sent: u64,
     /// Coalesced `BatchReply` messages sent (vector mode).
     pub batch_replies_sent: u64,
+    /// Packets this worker lost when it was killed by a
+    /// [`FailoverPlan`](crate::runtime::FailoverPlan): the unadmitted
+    /// remainder of its trace plus its own packets parked mid-flight.
+    pub lost_packets: u64,
+    /// In-flight remote requests re-routed after a re-partitioning
+    /// moved their home LC (re-issued to the new home, or pulled back
+    /// into the local FE queue).
+    pub rehomed_requests: u64,
+    /// Messages discarded because their destination LC was dead —
+    /// purged from the outbox at remap time or suppressed at emit.
+    pub dead_letters: u64,
+    /// Packets dropped at ingress by the overload admission gate
+    /// (offered load exceeded the bounded ingress queue).
+    pub ingress_dropped: u64,
+    /// High-water mark of any outbound fabric ring's occupancy, in
+    /// messages, observed after each outbox flush — the bounded-queue
+    /// evidence the overload scenario gates on.
+    pub max_ring_depth: u64,
+    /// Admit-burst timestamp pairs taken for the latency histograms —
+    /// zero whenever `capture_latency` is off (the cold-path counter
+    /// the skip is asserted through).
+    pub timestamp_pairs: u64,
 }
 
 /// Latency series in microseconds: running min/mean/max plus the raw
@@ -332,6 +354,40 @@ pub struct CoherenceSummary {
     pub mismatches: u64,
 }
 
+/// Online re-partitioning after an LC failure: what the control plane
+/// did when the failure flag was raised.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FailoverSummary {
+    /// The LC that died.
+    pub dead_lc: u16,
+    /// Prefixes in the dead LC's RIB fragment, all re-homed across the
+    /// survivors.
+    pub moved_prefixes: u64,
+    /// Wall-clock cost of the remap: fragment move, both snapshot-copy
+    /// patches, epoch publication and grace wait, and the cache
+    /// invalidations.
+    pub remap_us: f64,
+    /// Whether invalidations were prefix-targeted (`true`) or the remap
+    /// fell back to a full flush because the moved set exceeded the
+    /// control-ring budget.
+    pub targeted: bool,
+    /// Invalidation messages sent per surviving LC (1 for a flush).
+    pub invalidations_per_lc: u64,
+}
+
+/// Periodic mid-run coherence sweeps (deterministic soak runs): every
+/// resident cache entry of every live worker compared against the
+/// control plane's per-LC RIB oracle, `sweep_every` rounds apart.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepSummary {
+    /// Sweeps performed.
+    pub sweeps: u64,
+    /// Resident entries compared, summed over sweeps.
+    pub entries_checked: u64,
+    /// Entries that disagreed with the oracle (must be zero).
+    pub mismatches: u64,
+}
+
 /// Tail statistics over per-packet processing cost, estimated from
 /// per-iteration wall time divided by packets completed that iteration.
 #[derive(Debug, Clone, Default)]
@@ -376,6 +432,13 @@ pub struct DataplaneReport {
     pub faults: Option<FaultReport>,
     /// Post-quiesce coherence sweep (`None` on threaded runs).
     pub coherence: Option<CoherenceSummary>,
+    /// Online re-partitioning results (`None` unless a
+    /// [`FailoverPlan`](crate::runtime::FailoverPlan) fired and the
+    /// control plane remapped).
+    pub failover: Option<FailoverSummary>,
+    /// Mid-run coherence sweeps (`None` unless `sweep_every` was set on
+    /// a deterministic run).
+    pub sweeps: Option<SweepSummary>,
 }
 
 impl DataplaneReport {
@@ -481,13 +544,14 @@ impl DataplaneReport {
 
     /// Every way this run can disagree with the scalar full-table
     /// oracle, summed: per-batch spot checks, the control plane's
-    /// post-churn table samples, and the post-quiesce cache-coherence
-    /// sweep. Zero means every delivered lookup and every surviving
-    /// cache entry matched the oracle.
+    /// post-churn table samples, the post-quiesce cache-coherence
+    /// sweep, and the mid-run soak sweeps. Zero means every delivered
+    /// lookup and every surviving cache entry matched the oracle.
     pub fn oracle_divergence(&self) -> u64 {
         let churn = self.churn.as_ref().map_or(0, |c| c.final_mismatches);
         let coherence = self.coherence.as_ref().map_or(0, |c| c.mismatches);
-        self.spot_check_mismatches() + churn + coherence
+        let sweeps = self.sweeps.as_ref().map_or(0, |s| s.mismatches);
+        self.spot_check_mismatches() + churn + coherence + sweeps
     }
 
     /// One-line human-readable summary.
@@ -606,10 +670,12 @@ impl DataplaneReport {
         }
         s.push_str(&self.faults_json());
         s.push_str(&self.coherence_json());
+        s.push_str(&self.failover_json());
+        s.push_str(&self.sweeps_json());
         s.push_str("  \"per_worker\": [\n");
         for (i, w) in self.workers.iter().enumerate() {
             s.push_str(&format!(
-                "    {{ \"lc\": {}, \"packets\": {}, \"hits_loc\": {}, \"hits_rem\": {}, \"hits_waiting\": {}, \"misses\": {}, \"invalidations\": {}, \"flushes\": {}, \"fe_lookups\": {}, \"remote_requests\": {}, \"remote_served\": {}, \"stale_replies\": {}, \"duplicate_replies\": {} }}{}\n",
+                "    {{ \"lc\": {}, \"packets\": {}, \"hits_loc\": {}, \"hits_rem\": {}, \"hits_waiting\": {}, \"misses\": {}, \"invalidations\": {}, \"flushes\": {}, \"fe_lookups\": {}, \"remote_requests\": {}, \"remote_served\": {}, \"stale_replies\": {}, \"duplicate_replies\": {}, \"lost_packets\": {}, \"rehomed_requests\": {}, \"dead_letters\": {}, \"ingress_dropped\": {}, \"max_ring_depth\": {} }}{}\n",
                 w.lc,
                 w.packets,
                 w.cache.hits_loc,
@@ -623,11 +689,36 @@ impl DataplaneReport {
                 w.remote_served,
                 w.stale_replies,
                 w.duplicate_replies,
+                w.lost_packets,
+                w.rehomed_requests,
+                w.dead_letters,
+                w.ingress_dropped,
+                w.max_ring_depth,
                 if i + 1 < self.workers.len() { "," } else { "" },
             ));
         }
         s.push_str("  ]\n}\n");
         s
+    }
+
+    fn failover_json(&self) -> String {
+        match &self.failover {
+            Some(f) => format!(
+                "  \"failover\": {{ \"dead_lc\": {}, \"moved_prefixes\": {}, \"remap_us\": {:.2}, \"targeted\": {}, \"invalidations_per_lc\": {} }},\n",
+                f.dead_lc, f.moved_prefixes, f.remap_us, f.targeted, f.invalidations_per_lc,
+            ),
+            None => "  \"failover\": null,\n".to_string(),
+        }
+    }
+
+    fn sweeps_json(&self) -> String {
+        match &self.sweeps {
+            Some(s) => format!(
+                "  \"sweeps\": {{ \"sweeps\": {}, \"entries_checked\": {}, \"mismatches\": {} }},\n",
+                s.sweeps, s.entries_checked, s.mismatches,
+            ),
+            None => "  \"sweeps\": null,\n".to_string(),
+        }
     }
 
     /// JSON object with per-path latency percentiles — the payload

@@ -41,8 +41,10 @@
 use crate::epoch::{epoch_table, EpochReader, EpochWriter};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::report::{
-    ChurnReport, CoherenceSummary, DataplaneReport, FaultReport, TailSummary, WorkerReport,
+    ChurnReport, CoherenceSummary, DataplaneReport, FailoverSummary, FaultReport, SweepSummary,
+    TailSummary, WorkerReport,
 };
+use crate::scenario::LiveProbe;
 use crate::vcache::{VersionedCache, VersionedFill};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -101,6 +103,36 @@ impl Default for ChurnConfig {
     }
 }
 
+/// Deterministic LC-failure schedule: the scripted line-card loss the
+/// failover scenario injects. The victim worker dies — stops draining
+/// its rings, loses its unfinished packets, and marks itself done —
+/// right after admitting `after_packets` of its own trace; the control
+/// plane notices and re-homes its ROT partition across the survivors
+/// online (see `Control::remap_failed`).
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverPlan {
+    /// The LC worker that dies (must be `< workers`, and `workers >= 2`
+    /// so survivors exist).
+    pub lc: u16,
+    /// The victim dies once it has admitted at least this many of its
+    /// own packets.
+    pub after_packets: u64,
+}
+
+/// Sustained-overload admission: offered load above capacity with a
+/// bounded ingress queue per worker. Arrivals are modelled by a token
+/// bucket at `offered_pps`; packets the worker cannot admit pile into
+/// an ingress queue capped at `ingress_capacity`, and the overflow is
+/// dropped (head-drop) and accounted — never silently completed.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Offered load per worker, packets per second.
+    pub offered_pps: f64,
+    /// Bounded ingress queue: packets that have arrived but are not yet
+    /// admitted, beyond which arrivals drop.
+    pub ingress_capacity: usize,
+}
+
 /// Configuration of one dataplane run.
 #[derive(Debug, Clone)]
 pub struct DataplaneConfig {
@@ -148,6 +180,21 @@ pub struct DataplaneConfig {
     /// timestamp pair and the per-waiter clock reads from the hot
     /// path; throughput counters and checksums are unaffected.
     pub capture_latency: bool,
+    /// Scripted LC failure with online re-partitioning (`None` = no
+    /// failure; the default).
+    pub failover: Option<FailoverPlan>,
+    /// Overload admission gate (`None` = admit straight from the trace;
+    /// the default). Wall-clock-paced, so only meaningful on threaded
+    /// runs.
+    pub overload: Option<OverloadConfig>,
+    /// Live progress probe the scenario runner samples concurrently
+    /// with the run (`None` = no probe; the default).
+    pub probe: Option<Arc<LiveProbe>>,
+    /// Deterministic runs: every N rounds, drain each live worker's
+    /// control ring and compare every resident cache entry against the
+    /// per-LC RIB oracle (0 = off; the default). The soak scenario's
+    /// periodic invariant sweep.
+    pub sweep_every: usize,
 }
 
 impl Default for DataplaneConfig {
@@ -167,6 +214,10 @@ impl Default for DataplaneConfig {
             delta_patching: true,
             vector: true,
             capture_latency: true,
+            failover: None,
+            overload: None,
+            probe: None,
+            sweep_every: 0,
         }
     }
 }
@@ -179,6 +230,13 @@ struct Snapshot {
     applied_seq: u64,
     /// Publication version (epoch at publish time); stamps replies.
     version: u64,
+    /// The partitioning `tables` was built for. Published through the
+    /// same RCU pointer as the tables so a re-partitioning after an LC
+    /// failure reaches every worker atomically with the re-homed
+    /// fragments (workers adopt it in `sync_partition`).
+    part: Arc<Partitioning>,
+    /// Bitmask of dead LCs under this snapshot (bit `i` = LC `i`).
+    dead: u64,
 }
 
 /// Control-plane → worker messages.
@@ -237,6 +295,18 @@ fn update_prefix(u: Update) -> Prefix {
 // Worker
 // ---------------------------------------------------------------------
 
+/// Token-bucket state behind [`OverloadConfig`]: arrivals accrue at the
+/// offered rate; the gap between `arrived` and the admit cursor is the
+/// bounded ingress queue.
+struct OverloadState {
+    rate_pps: f64,
+    capacity: usize,
+    tokens: f64,
+    last: Instant,
+    /// Trace positions `< arrived` have "arrived at the line card".
+    arrived: usize,
+}
+
 struct WorkerCore {
     lc: usize,
     psi: usize,
@@ -290,6 +360,21 @@ struct WorkerCore {
     /// Stand-in `admitted` stamp for parked waiters while latency
     /// capture is off (never subtracted — `resolve` skips the record).
     epoch: Instant,
+    /// Scripted failure schedule (every worker carries the plan; only
+    /// the victim acts on it).
+    failover: Option<FailoverPlan>,
+    /// This worker died (it is the failover victim past its trigger).
+    failed: bool,
+    /// Shared failure flag: the victim stores its LC index here; the
+    /// control plane polls it and remaps (`usize::MAX` = none).
+    failed_flag: Arc<AtomicUsize>,
+    /// Dead LCs as of the last adopted snapshot — destinations to
+    /// never send to.
+    dead_mask: u64,
+    /// Overload admission gate (`None` = admit freely).
+    overload: Option<OverloadState>,
+    /// Live progress probe for the scenario sampler.
+    probe: Option<Arc<LiveProbe>>,
 }
 
 struct Worker {
@@ -309,7 +394,13 @@ impl WorkerCore {
 
     /// Queue a reply: a scalar message straight into the outbox, or —
     /// in vector mode — an event awaiting per-destination coalescing.
+    /// Replies to a dead LC are dropped (the requester cannot drain
+    /// them, and its waiters died with it).
     fn emit_reply(&mut self, dst: u16, addr: u32, packet_id: u64, nh: Option<u16>, version: u64) {
+        if self.dead_mask >> dst & 1 == 1 {
+            self.report.dead_letters += 1;
+            return;
+        }
         if self.vector {
             self.out_events[dst as usize].push(OutEvent::Rep {
                 addr,
@@ -330,8 +421,14 @@ impl WorkerCore {
     }
 
     /// Queue a home-LC lookup request (scalar message or coalescable
-    /// event, as [`Self::emit_reply`]).
+    /// event, as [`Self::emit_reply`]). Requests are never addressed to
+    /// a known-dead LC: `home_of` under the adopted partitioning never
+    /// returns one, and the rehome sweep re-routes using the new map.
     fn emit_request(&mut self, dst: u16, addr: u32) {
+        debug_assert!(
+            self.dead_mask >> dst & 1 == 0,
+            "request addressed to a dead LC"
+        );
         if self.vector {
             self.out_events[dst as usize].push(OutEvent::Req { addr });
         } else {
@@ -388,6 +485,103 @@ impl WorkerCore {
         }
     }
 
+    /// Adopt the pinned snapshot's partitioning if it changed (an
+    /// online re-partitioning after an LC failure). In-flight state
+    /// routed under the old map is migrated, in deterministic order:
+    ///
+    /// * queued messages to a now-dead LC are purged (`dead_letters`);
+    /// * parked remote waiters whose requester died are dropped (no one
+    ///   is left to receive the reply);
+    /// * outstanding remote requests whose home moved are re-routed —
+    ///   pulled into the local FE queue when this worker is the new
+    ///   home, re-issued to the new home otherwise. The original
+    ///   request may still produce a reply (it is dead only if the old
+    ///   home died); `awaiting_reply` being a set makes the eventual
+    ///   duplicate harmless.
+    fn sync_partition(&mut self, snap: &Snapshot) {
+        if Arc::ptr_eq(&self.part, &snap.part) && self.dead_mask == snap.dead {
+            return;
+        }
+        let old = std::mem::replace(&mut self.part, Arc::clone(&snap.part));
+        let dead = snap.dead;
+        self.dead_mask = dead;
+        if self.failed {
+            return;
+        }
+        for waiters in self.pending.values_mut() {
+            waiters.retain(|w| match w {
+                Waiter::Remote { src, .. } => dead >> *src & 1 == 0,
+                Waiter::Local { .. } => true,
+            });
+        }
+        let before = self.outbox.len();
+        self.outbox.retain(|m| dead >> m.dst & 1 == 0);
+        self.report.dead_letters += (before - self.outbox.len()) as u64;
+        for (dst, events) in self.out_events.iter_mut().enumerate() {
+            if dead >> dst & 1 == 1 && !events.is_empty() {
+                self.report.dead_letters += events.len() as u64;
+                events.clear();
+            }
+        }
+        // Sorted for determinism (HashSet iteration order is not).
+        let mut in_flight: Vec<u32> = self.awaiting_reply.iter().copied().collect();
+        in_flight.sort_unstable();
+        for addr in in_flight {
+            let old_home = old.home_of(addr);
+            let new_home = self.part.home_of(addr);
+            if new_home == old_home && dead >> old_home & 1 == 0 {
+                continue;
+            }
+            self.report.rehomed_requests += 1;
+            if new_home as usize == self.lc {
+                self.awaiting_reply.remove(&addr);
+                self.fe_queue.push(addr);
+            } else {
+                self.emit_request(new_home, addr);
+            }
+        }
+    }
+
+    /// Fire the scripted LC failure once its trigger point is reached:
+    /// the victim loses every packet it has not completed, clears all
+    /// in-flight state, raises the shared failure flag for the control
+    /// plane, and marks itself done. Returns `true` while dead.
+    fn maybe_die(&mut self) -> bool {
+        if self.failed {
+            return true;
+        }
+        let Some(plan) = self.failover else {
+            return false;
+        };
+        if plan.lc as usize != self.lc || (self.pos as u64) < plan.after_packets {
+            return false;
+        }
+        // Own packets never delivered: the unadmitted tail plus every
+        // admitted-but-parked packet (ingress drops are accounted
+        // separately, not lost).
+        let lost = self.dests.len() as u64 - self.report.packets - self.report.ingress_dropped;
+        self.report.lost_packets = lost;
+        self.pos = self.dests.len();
+        self.pending.clear();
+        self.fe_queue.clear();
+        self.awaiting_reply.clear();
+        self.outbox.clear();
+        for events in self.out_events.iter_mut() {
+            events.clear();
+        }
+        self.failed = true;
+        if let Some(p) = &self.probe {
+            p.add_lost(lost);
+            p.mark_kill();
+        }
+        self.failed_flag.store(self.lc, Ordering::SeqCst);
+        if !self.marked_done {
+            self.marked_done = true;
+            self.done.fetch_add(1, Ordering::SeqCst);
+        }
+        true
+    }
+
     fn drain_ctrl(&mut self) -> u64 {
         let mut n = 0;
         while let Some(msg) = self.ctrl_rx.try_pop() {
@@ -406,7 +600,14 @@ impl WorkerCore {
     /// shared by scalar [`MsgKind::Request`]s and each lane of a
     /// [`MsgKind::BatchRequest`].
     fn handle_request_addr(&mut self, src: u16, addr: u32, packet_id: u64, snap: &Snapshot) {
-        debug_assert_eq!(self.part.home_of(addr) as usize, self.lc);
+        // Under failover a request routed on the old partitioning can
+        // arrive after this worker adopted the new one; it is answered
+        // from the local table regardless (the reply's version gate
+        // handles staleness). Without failover the home must match.
+        debug_assert!(
+            self.failover.is_some() || self.part.home_of(addr) as usize == self.lc,
+            "request arrived at a non-home LC without failover"
+        );
         self.report.remote_served += 1;
         match self.cache.probe(addr) {
             ProbeResult::Hit { value, .. } => {
@@ -499,8 +700,40 @@ impl WorkerCore {
         n
     }
 
+    /// Packets admissible this iteration: the whole batch, or — under
+    /// the overload gate — whatever the token-bucket arrival process
+    /// has delivered into the bounded ingress queue, after head-drops.
+    fn admit_limit(&mut self) -> usize {
+        let Some(o) = self.overload.as_mut() else {
+            return self.batch;
+        };
+        let now = Instant::now();
+        let dt = now.duration_since(o.last).as_secs_f64();
+        o.last = now;
+        // Cap the bucket so a scheduler stall cannot convert into an
+        // unbounded arrival burst.
+        o.tokens = (o.tokens + dt * o.rate_pps).min(2.0 * o.capacity as f64);
+        let arrivals = o.tokens as usize;
+        o.tokens -= arrivals as f64;
+        o.arrived = (o.arrived + arrivals).min(self.dests.len());
+        let queued = o.arrived - self.pos;
+        if queued > o.capacity {
+            // Ingress overflow: head-drop the oldest queued packets.
+            // They never complete and are excluded from the checksum —
+            // drops are accounted, not silently forwarded.
+            let excess = queued - o.capacity;
+            self.pos += excess;
+            self.report.ingress_dropped += excess as u64;
+            if let Some(p) = &self.probe {
+                p.add_dropped(excess as u64);
+            }
+        }
+        (o.arrived - self.pos).min(self.batch)
+    }
+
     fn admit_own(&mut self) -> u64 {
-        let end = (self.pos + self.batch).min(self.dests.len());
+        let limit = self.admit_limit();
+        let end = (self.pos + limit).min(self.dests.len());
         let n = (end - self.pos) as u64;
         if n == 0 {
             return 0;
@@ -555,10 +788,14 @@ impl WorkerCore {
                 }
             }
         }
+        if let Some(p) = &self.probe {
+            p.record_admit(n, loc_hits + rem_hits);
+        }
         // Hit-path latency: one timestamp pair per admit burst (a
         // per-packet clock read would dominate the very path being
         // measured); every hit in the burst books the burst's elapsed.
         if self.capture_latency {
+            self.report.timestamp_pairs += 1;
             let dt = t0.elapsed().as_nanos() as u64;
             self.report.latency.loc_hit.record_n(dt, loc_hits);
             self.report.latency.rem_hit.record_n(dt, rem_hits);
@@ -716,6 +953,12 @@ impl WorkerCore {
         let mut deferred = VecDeque::new();
         while let Some(msg) = self.outbox.pop_front() {
             let dst = msg.dst as usize;
+            if self.dead_mask >> dst & 1 == 1 {
+                // A fault injector can release held messages to an LC
+                // that died after they were queued; they go nowhere.
+                self.report.dead_letters += 1;
+                continue;
+            }
             if blocked[dst] {
                 deferred.push_back(msg);
                 continue;
@@ -731,6 +974,10 @@ impl WorkerCore {
                 .as_mut()
                 .expect("messages are never addressed to self");
             let pushed = tx.push_slice(&self.push_scratch);
+            let depth = tx.len() as u64;
+            if depth > self.report.max_ring_depth {
+                self.report.max_ring_depth = depth;
+            }
             if pushed < self.push_scratch.len() {
                 blocked[dst] = true;
                 deferred.extend(self.push_scratch[pushed..].iter().copied());
@@ -765,6 +1012,13 @@ impl WorkerCore {
 
     fn step(&mut self, snap: &Snapshot) -> (u64, u64) {
         self.completed_this_iter = 0;
+        self.sync_partition(snap);
+        if self.maybe_die() {
+            // A dead LC does no work; it only discards control traffic
+            // so the control plane's bounded ring never wedges on it.
+            while self.ctrl_rx.try_pop().is_some() {}
+            return (0, 0);
+        }
         let mut work = self.drain_ctrl();
         work += self.drain_fabric(snap);
         work += self.admit_own();
@@ -914,6 +1168,17 @@ struct Control {
     /// benchmark's patch-vs-rebuild control arm).
     delta_patching: bool,
     report: ChurnReport,
+    /// Shared failure flag the victim worker raises (`usize::MAX` =
+    /// no failure).
+    failed_flag: Arc<AtomicUsize>,
+    /// Dead LCs — skipped by `broadcast` once the remap makes their
+    /// death official.
+    dead_mask: u64,
+    /// Control-ring capacity; bounds how many targeted invalidations a
+    /// remap may enqueue before falling back to a full flush.
+    ctrl_cap: usize,
+    /// What the remap did, once it ran.
+    failover: Option<FailoverSummary>,
 }
 
 impl Control {
@@ -961,6 +1226,9 @@ impl Control {
 
     fn broadcast(&mut self, msg: CtrlMsg) {
         for lc in 0..self.psi {
+            if self.dead_mask >> lc & 1 == 1 {
+                continue;
+            }
             let tx = &mut self.ctrl_tx[lc];
             loop {
                 match tx.try_push(msg) {
@@ -1056,9 +1324,152 @@ impl Control {
             if self.done.load(Ordering::SeqCst) >= self.psi {
                 break;
             }
+            self.maybe_remap();
             self.publish_batch(batch);
             if pace_us > 0 {
                 std::thread::sleep(std::time::Duration::from_micros(pace_us));
+            }
+        }
+    }
+
+    /// Headroom targeted remap invalidations must leave in the control
+    /// ring (for a same-round churn publication plus slop); a moved set
+    /// that cannot fit falls back to one full flush.
+    const REMAP_CTRL_SLACK: usize = 128;
+
+    /// Poll the shared failure flag and re-partition once when it is
+    /// raised. Returns whether a remap ran this call.
+    fn maybe_remap(&mut self) -> bool {
+        if self.failover.is_some() {
+            return false;
+        }
+        let dead = self.failed_flag.load(Ordering::SeqCst);
+        if dead == usize::MAX {
+            return false;
+        }
+        self.remap_failed(dead as u16);
+        true
+    }
+
+    /// Patch one snapshot copy for the re-homed prefixes, the same
+    /// apply-delta-or-rebuild dispatch `sync` uses for churn.
+    fn apply_remap(&mut self, snap: &mut Snapshot, changed: &[Vec<Prefix>]) {
+        for (lc, prefixes) in changed.iter().enumerate() {
+            if prefixes.is_empty() {
+                continue;
+            }
+            let patched = if self.delta_patching {
+                snap.tables[lc].apply_delta(prefixes, &self.per_lc_rib[lc])
+            } else {
+                None
+            };
+            match patched {
+                Some(stats) => {
+                    self.report.delta_applies += 1;
+                    self.report.delta_bytes_touched += stats.bytes_touched as u64;
+                    self.report.delta_prefixes_applied += stats.prefixes_applied as u64;
+                }
+                None => {
+                    self.report.rebuild_applies += 1;
+                    snap.tables[lc] = ForwardingTable::build(self.algorithm, &self.per_lc_rib[lc]);
+                }
+            }
+        }
+    }
+
+    /// Online re-partitioning after LC `dead` died, while packets keep
+    /// flowing:
+    ///
+    /// 1. compute a successor [`Partitioning`] that re-homes the dead
+    ///    LC's groups across the least-loaded survivors
+    ///    ([`Partitioning::remap_without`]);
+    /// 2. move the dead RIB fragment's routes into the survivors'
+    ///    fragments (skipping routes already replicated there);
+    /// 3. patch the shadow snapshot — pending churn log first, then the
+    ///    re-homed prefixes via `apply_delta`-or-rebuild — stamp it
+    ///    with the new partitioning and dead mask, and publish it
+    ///    RCU-style (`publish_deferred`); workers adopt the new map on
+    ///    their next pin and migrate their in-flight state
+    ///    (`sync_partition`);
+    /// 4. after the grace wait, patch the retiring copy identically
+    ///    (the ping-pong log discipline cannot reproduce a remap, so
+    ///    both copies are patched and the log fully drains);
+    /// 5. invalidate the moved range at the new version — targeted
+    ///    [`CtrlMsg::Invalidate`] per moved prefix when the set fits
+    ///    the control-ring budget, one full flush otherwise. Replies
+    ///    computed by the dead LC before it died carry pre-remap
+    ///    versions, so the reply-version gate (`fill_versioned`) drops
+    ///    them instead of caching stale values.
+    fn remap_failed(&mut self, dead: u16) {
+        let t0 = Instant::now();
+        let dead_idx = dead as usize;
+        let loads: Vec<usize> = self.per_lc_rib.iter().map(|r| r.len()).collect();
+        let new_part = Arc::new(
+            self.part
+                .remap_without(dead, &self.per_lc_rib[dead_idx], &loads),
+        );
+        let moved = self.per_lc_rib[dead_idx].entries().to_vec();
+        let mut changed: Vec<Vec<Prefix>> = vec![Vec::new(); self.psi];
+        for e in &moved {
+            for lc in new_part.lcs_of_prefix(e.prefix) {
+                debug_assert_ne!(lc, dead, "remap re-homed a group onto the dead LC");
+                let rib = &mut self.per_lc_rib[lc as usize];
+                if rib.get(e.prefix).is_none() {
+                    rib.insert(*e);
+                    changed[lc as usize].push(e.prefix);
+                }
+            }
+        }
+        self.part = Arc::clone(&new_part);
+        self.dead_mask |= 1 << dead;
+        let mut shadow = self.shadow.take().expect("shadow snapshot present");
+        self.sync(&mut shadow);
+        self.apply_remap(&mut shadow, &changed);
+        shadow.part = Arc::clone(&new_part);
+        shadow.dead |= 1 << dead;
+        shadow.version = self.writer.epoch() + 1;
+        let retiring = self.writer.publish_deferred(shadow);
+        let mut retiring = retiring.into_inner();
+        self.sync(&mut retiring);
+        self.apply_remap(&mut retiring, &changed);
+        retiring.part = Arc::clone(&new_part);
+        retiring.dead |= 1 << dead;
+        self.shadow = Some(retiring);
+        // Both copies now reflect the whole log.
+        self.log.clear();
+        self.base_seq = self.next_seq;
+        self.per_lc_rib[dead_idx] = RoutingTable::from_entries([]);
+        let version = self.writer.epoch();
+        let targeted = self.mode == InvalidationMode::Targeted
+            && moved.len() + Self::REMAP_CTRL_SLACK <= self.ctrl_cap;
+        if targeted {
+            for e in &moved {
+                self.broadcast(CtrlMsg::Invalidate {
+                    bits: e.prefix.bits(),
+                    len: e.prefix.len(),
+                    version,
+                });
+            }
+        } else {
+            self.broadcast(CtrlMsg::Flush { version });
+        }
+        self.failover = Some(FailoverSummary {
+            dead_lc: dead,
+            moved_prefixes: moved.len() as u64,
+            remap_us: t0.elapsed().as_secs_f64() * 1e6,
+            targeted,
+            invalidations_per_lc: if targeted { moved.len() as u64 } else { 1 },
+        });
+    }
+
+    /// Threaded failover watch: after any churn stream finishes, keep
+    /// polling the failure flag until every worker is done (survivors
+    /// with requests in flight to the victim cannot finish until the
+    /// remap re-homes them).
+    fn watch_failover(&mut self) {
+        while self.done.load(Ordering::SeqCst) < self.psi {
+            if !self.maybe_remap() {
+                std::thread::sleep(std::time::Duration::from_micros(50));
             }
         }
     }
@@ -1097,6 +1508,17 @@ pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> Dat
         traces.iter().all(|t| !t.is_empty()),
         "traces must be non-empty"
     );
+    if let Some(plan) = &cfg.failover {
+        assert!(psi >= 2, "failover needs at least one survivor");
+        assert!((plan.lc as usize) < psi, "failover victim out of range");
+        assert!(psi <= 64, "the dead-LC mask holds at most 64 workers");
+    }
+    if let Some(o) = &cfg.overload {
+        assert!(
+            o.offered_pps > 0.0 && o.ingress_capacity > 0,
+            "overload needs a positive rate and capacity"
+        );
+    }
 
     let bits = select_bits(table, eta_for(psi));
     let part = Arc::new(Partitioning::new(table, bits, psi));
@@ -1109,6 +1531,8 @@ pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> Dat
                 .collect(),
             applied_seq: 0,
             version,
+            part: Arc::clone(&part),
+            dead: 0,
         })
     };
     let (writer, readers) = epoch_table(build(0), psi);
@@ -1137,7 +1561,14 @@ pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> Dat
         .as_ref()
         .map(|c| c.updates_per_publication)
         .unwrap_or(0);
-    let ctrl_cap = cfg.ring_capacity.max(2 * per_pub + 8);
+    let mut ctrl_cap = cfg.ring_capacity.max(2 * per_pub + 8);
+    if let Some(plan) = &cfg.failover {
+        // A targeted remap enqueues one invalidation per moved prefix;
+        // size the ring so the deterministic schedule can absorb the
+        // burst (plus a same-round publication) without overflowing.
+        let fragment = per_lc_rib[plan.lc as usize].len();
+        ctrl_cap = ctrl_cap.max(fragment + 2 * per_pub + 2 * Control::REMAP_CTRL_SLACK);
+    }
     let mut ctrl_tx = Vec::with_capacity(psi);
     let mut ctrl_rx = Vec::with_capacity(psi);
     for _ in 0..psi {
@@ -1147,6 +1578,8 @@ pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> Dat
     }
 
     let done = Arc::new(AtomicUsize::new(0));
+    let failed_flag = Arc::new(AtomicUsize::new(usize::MAX));
+    let now = Instant::now();
     let mut workers: Vec<Worker> = Vec::with_capacity(psi);
     for (lc, reader) in readers.into_iter().enumerate() {
         workers.push(Worker {
@@ -1181,7 +1614,19 @@ pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> Dat
                 push_scratch: Vec::new(),
                 cold_recorded: false,
                 capture_latency: cfg.capture_latency,
-                epoch: Instant::now(),
+                epoch: now,
+                failover: cfg.failover,
+                failed: false,
+                failed_flag: Arc::clone(&failed_flag),
+                dead_mask: 0,
+                overload: cfg.overload.map(|o| OverloadState {
+                    rate_pps: o.offered_pps,
+                    capacity: o.ingress_capacity,
+                    tokens: 0.0,
+                    last: now,
+                    arrived: 0,
+                }),
+                probe: cfg.probe.clone(),
             },
         });
     }
@@ -1202,6 +1647,10 @@ pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> Dat
         blocking: !cfg.deterministic,
         delta_patching: cfg.delta_patching,
         report: ChurnReport::default(),
+        failed_flag,
+        dead_mask: 0,
+        ctrl_cap,
+        failover: None,
     };
 
     let updates = cfg.churn.as_ref().map(|c| {
@@ -1217,20 +1666,23 @@ pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> Dat
     });
 
     let t0 = Instant::now();
-    let (mut results, coherence, forced_publications) = if cfg.deterministic {
-        let (r, forced) = run_deterministic(&mut workers, &mut control, updates.as_deref(), cfg);
+    let (mut results, coherence, forced_publications, sweeps) = if cfg.deterministic {
+        let (r, forced, sweeps) =
+            run_deterministic(&mut workers, &mut control, updates.as_deref(), cfg);
         // Post-quiesce coherence sweep: the trailing publications left
         // their invalidations queued in the control rings, so drain
         // those first; then every entry still resident in any cache
         // must agree with the control plane's RIB oracle — targeted
         // invalidation plus the reply-version gate must leave no entry
-        // covered by an updated prefix.
+        // covered by an updated prefix. A failed worker's cache froze
+        // at its death and stopped receiving invalidations, so it is
+        // out of the sweep (it serves no lookups either).
         let mut entries_checked = 0u64;
         let mut mismatches = 0u64;
-        for w in workers.iter_mut() {
+        for w in workers.iter_mut().filter(|w| !w.core.failed) {
             w.core.drain_ctrl();
             for (addr, value) in w.core.cache.entries() {
-                let home = part.home_of(addr) as usize;
+                let home = control.part.home_of(addr) as usize;
                 let expect = control.per_lc_rib[home]
                     .longest_match(addr)
                     .map(|e| e.next_hop.0);
@@ -1247,10 +1699,11 @@ pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> Dat
                 mismatches,
             }),
             forced,
+            sweeps,
         )
     } else {
         let r = run_threaded(workers, &mut control, updates.as_deref(), cfg);
-        (r, None, 0)
+        (r, None, 0, None)
     };
     let elapsed = t0.elapsed();
 
@@ -1271,6 +1724,8 @@ pub fn run(table: &RoutingTable, traces: &[Trace], cfg: &DataplaneConfig) -> Dat
         report.churn = Some(control.report.clone());
     }
     report.coherence = coherence;
+    report.failover = control.failover;
+    report.sweeps = sweeps;
     if let Some(plan) = &cfg.faults {
         let mut fr = FaultReport {
             seed: plan.seed,
@@ -1304,6 +1759,11 @@ fn run_threaded(
             let churn = cfg.churn.as_ref().expect("updates imply churn config");
             control.run_paced(updates, churn.updates_per_publication, churn.pace_us);
         }
+        if cfg.failover.is_some() {
+            // Survivors with requests in flight to the victim cannot
+            // finish until the control plane re-homes them.
+            control.watch_failover();
+        }
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
@@ -1311,12 +1771,40 @@ fn run_threaded(
     })
 }
 
+/// One mid-run invariant sweep (deterministic soak runs): drain each
+/// live worker's control ring, then compare every resident cache entry
+/// against the control plane's per-LC RIB oracle. Sound between rounds:
+/// after the drain, any resident entry either postdates every processed
+/// invalidation covering it or was never covered — both must match the
+/// oracle.
+fn sweep_caches(workers: &mut [Worker], control: &Control, summary: &mut SweepSummary) {
+    summary.sweeps += 1;
+    for w in workers.iter_mut().filter(|w| !w.core.failed) {
+        w.core.drain_ctrl();
+        for (addr, value) in w.core.cache.entries() {
+            let home = control.part.home_of(addr) as usize;
+            let expect = control.per_lc_rib[home]
+                .longest_match(addr)
+                .map(|e| e.next_hop.0);
+            summary.entries_checked += 1;
+            if value != expect {
+                summary.mismatches += 1;
+            }
+        }
+    }
+}
+
+/// What one deterministic run returns: the per-worker reports with
+/// their publication-tail samples, the forced-publication count, and
+/// the coherence-sweep summary when `sweep_every` was set.
+type DeterministicOutcome = (Vec<(WorkerReport, Vec<f64>)>, u64, Option<SweepSummary>);
+
 fn run_deterministic(
     workers: &mut [Worker],
     control: &mut Control,
     updates: Option<&[Update]>,
     cfg: &DataplaneConfig,
-) -> (Vec<(WorkerReport, Vec<f64>)>, u64) {
+) -> DeterministicOutcome {
     let psi = workers.len();
     let done = Arc::clone(&workers[0].core.done);
     // Adversarial snapshot swaps: a seeded coin decides, per round,
@@ -1349,6 +1837,7 @@ fn run_deterministic(
     let publish_every = (total_rounds / (batches.len() + 1)).max(1);
 
     let mut samples: Vec<Vec<f64>> = vec![Vec::new(); psi];
+    let mut sweeps = (cfg.sweep_every > 0).then(SweepSummary::default);
     let mut round = 0usize;
     let round_cap = 1000 * total_rounds + 10_000;
     while done.load(Ordering::SeqCst) < psi {
@@ -1357,6 +1846,12 @@ fn run_deterministic(
             round <= round_cap,
             "deterministic schedule failed to quiesce"
         );
+        control.maybe_remap();
+        if let Some(s) = sweeps.as_mut() {
+            if round.is_multiple_of(cfg.sweep_every) {
+                sweep_caches(workers, control, s);
+            }
+        }
         if !batches.is_empty() && round.is_multiple_of(publish_every) {
             let batch = batches.pop_front().expect("non-empty");
             control.publish_batch(batch);
@@ -1390,7 +1885,7 @@ fn run_deterministic(
             )
         })
         .collect();
-    (results, forced_publications)
+    (results, forced_publications, sweeps)
 }
 
 #[cfg(test)]
@@ -1512,6 +2007,39 @@ mod tests {
             .workers
             .iter()
             .all(|w| w.batch_requests_sent == 0 && w.batch_replies_sent == 0));
+    }
+
+    #[test]
+    fn latency_capture_off_skips_timestamp_reads() {
+        let (table, traces) = small_setup(3, 2_000);
+        let base = DataplaneConfig {
+            workers: 3,
+            deterministic: true,
+            cache: LrCacheConfig::paper(256),
+            ..Default::default()
+        };
+        let on = run(&table, &traces, &base);
+        let off = run(
+            &table,
+            &traces,
+            &DataplaneConfig {
+                capture_latency: false,
+                ..base
+            },
+        );
+        // Forwarding is identical either way — measurement must not
+        // perturb the datapath.
+        assert_eq!(on.checksum(), off.checksum());
+        assert_eq!(on.total_packets(), off.total_packets());
+        // With capture on, every admit burst books one timestamp pair
+        // and the histograms fill; with it off, the clock is never read
+        // on the admit path and the histograms stay empty.
+        let pairs_on: u64 = on.workers.iter().map(|w| w.timestamp_pairs).sum();
+        assert!(pairs_on > 0, "capture on recorded no timestamp pairs");
+        assert!(on.latency_paths().all().count() > 0);
+        let pairs_off: u64 = off.workers.iter().map(|w| w.timestamp_pairs).sum();
+        assert_eq!(pairs_off, 0, "capture off still read the clock");
+        assert_eq!(off.latency_paths().all().count(), 0);
     }
 
     /// The bit-stability contract: in a deterministic faultless run the

@@ -1,0 +1,228 @@
+//! LC failure with online re-partitioning: the remap protocol's edge
+//! cases. An LC dies mid-traffic; the control plane re-homes its
+//! ROT-partition groups across the survivors and publishes the new map
+//! through the RCU snapshot while packets keep flowing. These tests
+//! drive the remap under concurrent churn, verify the targeted
+//! invalidation of the remapped range, and inject duplicated/stale
+//! replies around the remap — zero oracle divergence in every case.
+
+use spal_cache::LrCacheConfig;
+use spal_dataplane::{
+    run, ChurnConfig, DataplaneConfig, FailoverPlan, FaultPlan, InvalidationMode,
+};
+use spal_rib::{synth, RoutingTable};
+use spal_traffic::{preset, PresetName, Trace, TracePreset};
+
+fn setup(psi: usize, packets_per_worker: usize) -> (RoutingTable, Vec<Trace>) {
+    let table = synth::small(31);
+    let p = TracePreset {
+        distinct: 600,
+        ..preset(PresetName::D75)
+    };
+    let traces = p.generate(&table, psi * packets_per_worker, 13).split(psi);
+    (table, traces)
+}
+
+fn failover_cfg(psi: usize, packets: usize, deterministic: bool) -> DataplaneConfig {
+    DataplaneConfig {
+        workers: psi,
+        deterministic,
+        cache: LrCacheConfig::paper(512),
+        failover: Some(FailoverPlan {
+            lc: 1,
+            after_packets: (packets as u64) * 2 / 5,
+        }),
+        seed: 17,
+        ..Default::default()
+    }
+}
+
+fn assert_no_divergence(report: &spal_dataplane::DataplaneReport) {
+    assert_eq!(
+        report.oracle_divergence(),
+        0,
+        "oracle divergence after remap"
+    );
+    if let Some(churn) = &report.churn {
+        assert_eq!(churn.final_mismatches, 0);
+    }
+}
+
+/// Completion accounting under a failure: every admitted packet either
+/// completed or was lost with the victim, and the victim's in-flight
+/// work was re-homed rather than leaked.
+fn assert_failure_accounting(report: &spal_dataplane::DataplaneReport, psi: usize, packets: usize) {
+    let f = report.failover.as_ref().expect("remap ran");
+    assert_eq!(f.dead_lc, 1);
+    assert!(f.moved_prefixes > 0, "remap moved nothing");
+    let lost: u64 = report.workers.iter().map(|w| w.lost_packets).sum();
+    assert!(lost > 0, "the victim lost nothing (died after its trace?)");
+    assert_eq!(
+        report.total_packets(),
+        (psi * packets) as u64 - lost,
+        "packets leaked or double-counted across the failure"
+    );
+}
+
+#[test]
+fn deterministic_failover_stays_consistent() {
+    let psi = 4;
+    let packets = 3_000;
+    let (table, traces) = setup(psi, packets);
+    let report = run(&table, &traces, &failover_cfg(psi, packets, true));
+    assert_no_divergence(&report);
+    assert_failure_accounting(&report, psi, packets);
+    // Survivors re-routed their in-flight requests to the new homes.
+    let rehomed: u64 = report.workers.iter().map(|w| w.rehomed_requests).sum();
+    let dead_letters: u64 = report.workers.iter().map(|w| w.dead_letters).sum();
+    assert!(
+        rehomed + dead_letters > 0,
+        "failure at 40% left no in-flight state to migrate"
+    );
+}
+
+#[test]
+fn deterministic_failover_is_reproducible() {
+    let psi = 3;
+    let packets = 2_000;
+    let (table, traces) = setup(psi, packets);
+    let a = run(&table, &traces, &failover_cfg(psi, packets, true));
+    let b = run(&table, &traces, &failover_cfg(psi, packets, true));
+    assert_eq!(a.checksum(), b.checksum());
+    assert_eq!(a.total_packets(), b.total_packets());
+    let fa = a.failover.as_ref().expect("remap ran");
+    let fb = b.failover.as_ref().expect("remap ran");
+    assert_eq!(fa.moved_prefixes, fb.moved_prefixes);
+    assert_eq!(fa.invalidations_per_lc, fb.invalidations_per_lc);
+}
+
+#[test]
+fn remap_under_concurrent_churn_stays_consistent() {
+    // The hard interleaving: route updates flowing through the log
+    // while the remap rewrites the partition map out-of-band. The log
+    // must be rebased (remapped prefixes can't be replayed under the
+    // old map) and the post-churn oracle must still agree everywhere.
+    let psi = 4;
+    let packets = 3_000;
+    let (table, traces) = setup(psi, packets);
+    let mut cfg = failover_cfg(psi, packets, true);
+    cfg.churn = Some(ChurnConfig {
+        updates: 600,
+        updates_per_publication: 30,
+        withdraw_fraction: 0.3,
+        pace_us: 0,
+    });
+    let report = run(&table, &traces, &cfg);
+    let churn = report.churn.as_ref().expect("churn ran");
+    assert_eq!(churn.updates_applied, 600, "remap stalled the churn feed");
+    assert_no_divergence(&report);
+    assert_failure_accounting(&report, psi, packets);
+}
+
+#[test]
+fn remap_invalidates_only_the_moved_range() {
+    // Targeted mode: survivors evict exactly the remapped prefixes.
+    let psi = 4;
+    let packets = 3_000;
+    let (table, traces) = setup(psi, packets);
+    let targeted = run(&table, &traces, &failover_cfg(psi, packets, true));
+    let ft = targeted.failover.as_ref().expect("remap ran");
+    assert!(ft.targeted, "remap fell back to full flush");
+    assert_eq!(
+        ft.invalidations_per_lc, ft.moved_prefixes,
+        "targeted remap must invalidate exactly the moved prefixes"
+    );
+    // No whole-cache flush happened anywhere.
+    assert_eq!(
+        targeted
+            .workers
+            .iter()
+            .map(|w| w.cache.flushes)
+            .sum::<u64>(),
+        0
+    );
+    assert_no_divergence(&targeted);
+
+    // Full-flush mode survives the same failure via one flush instead.
+    let mut flush_cfg = failover_cfg(psi, packets, true);
+    flush_cfg.invalidation = InvalidationMode::FullFlush;
+    let flush = run(&table, &traces, &flush_cfg);
+    let ff = flush.failover.as_ref().expect("remap ran");
+    assert!(!ff.targeted);
+    assert!(
+        flush.workers.iter().map(|w| w.cache.flushes).sum::<u64>() > 0,
+        "full-flush remap never flushed"
+    );
+    assert_no_divergence(&flush);
+}
+
+#[test]
+fn duplicate_and_stale_replies_after_remap_do_not_diverge() {
+    // Fault injection around the failure: duplicated replies (a remote
+    // fill that raced the remap arrives twice), delayed messages
+    // released after the victim's purge, and stalled rings. Version
+    // gating plus the dead-letter drop at the outbox must keep every
+    // completion correct.
+    let psi = 4;
+    let packets = 3_000;
+    let (table, traces) = setup(psi, packets);
+    let mut cfg = failover_cfg(psi, packets, true);
+    cfg.faults = Some(FaultPlan {
+        seed: 0xDEAD_BEEF,
+        delay_per_mille: 60,
+        drop_per_mille: 15,
+        dup_per_mille: 40,
+        stall_per_mille: 10,
+        forced_publication_per_mille: 5,
+        max_delay_iters: 4,
+        retransmit_delay_iters: 6,
+    });
+    cfg.churn = Some(ChurnConfig {
+        updates: 400,
+        updates_per_publication: 20,
+        withdraw_fraction: 0.3,
+        pace_us: 0,
+    });
+    let report = run(&table, &traces, &cfg);
+    assert_no_divergence(&report);
+    assert_failure_accounting(&report, psi, packets);
+    let dups: u64 = report.workers.iter().map(|w| w.duplicate_replies).sum();
+    assert!(dups > 0, "fault plan injected no duplicate replies");
+}
+
+#[test]
+fn vector_and_scalar_failover_match() {
+    // The remap path is mode-independent: vector and scalar runs over
+    // the same failure schedule complete the same packets to the same
+    // checksum.
+    let psi = 3;
+    let packets = 2_000;
+    let (table, traces) = setup(psi, packets);
+    let vector = run(&table, &traces, &failover_cfg(psi, packets, true));
+    let mut scalar_cfg = failover_cfg(psi, packets, true);
+    scalar_cfg.vector = false;
+    let scalar = run(&table, &traces, &scalar_cfg);
+    assert_eq!(vector.checksum(), scalar.checksum());
+    assert_eq!(vector.total_packets(), scalar.total_packets());
+    assert_no_divergence(&vector);
+    assert_no_divergence(&scalar);
+}
+
+#[test]
+fn threaded_failover_stays_consistent() {
+    let psi = 4;
+    let packets = 20_000;
+    let (table, traces) = setup(psi, packets);
+    let mut cfg = failover_cfg(psi, packets, false);
+    cfg.churn = Some(ChurnConfig {
+        updates: 400,
+        updates_per_publication: 20,
+        withdraw_fraction: 0.3,
+        pace_us: 50,
+    });
+    let report = run(&table, &traces, &cfg);
+    assert_no_divergence(&report);
+    report.failover.as_ref().expect("remap ran");
+    let lost: u64 = report.workers.iter().map(|w| w.lost_packets).sum();
+    assert_eq!(report.total_packets(), (psi * packets) as u64 - lost);
+}

@@ -12,6 +12,8 @@
 //! vertical spread in the paper's Figs. 4–6).
 //!
 //! Components:
+//! * [`adversarial`] — flash-crowd collapse and cache-thrash traces for
+//!   the operational-scenario suite;
 //! * [`locality`] — Zipf popularity with an O(1) alias-method sampler and
 //!   an optional packet-train (burst) overlay modelling flows;
 //! * [`pool`] — distinct-destination pools drawn inside a routing table's
@@ -20,6 +22,7 @@
 //! * [`arrival`] — the §5.1 packet arrival processes (uniform 2–18 cycle
 //!   gaps at 40 Gbps, 6–74 at 10 Gbps, mean packet 256 B).
 
+pub mod adversarial;
 pub mod analysis;
 pub mod arrival;
 pub mod locality;
@@ -27,6 +30,7 @@ pub mod pool;
 pub mod presets;
 pub mod trace;
 
+pub use adversarial::{cache_thrash, flash_crowd, FlashCrowdConfig, ThrashConfig};
 pub use arrival::{ArrivalProcess, LcSpeed};
 pub use locality::{AliasTable, LocalityModel};
 pub use pool::AddressPool;
