@@ -51,11 +51,13 @@
 //! point), `--prefixes N`, `--seed N`, `--out PATH`,
 //! `--out-latency PATH`.
 
-use spal_bench::lookup;
+use spal_bench::{dfz, lookup};
 use spal_cache::LrCacheConfig;
-use spal_core::{ForwardingTable, LpmAlgorithm};
-use spal_dataplane::{run, ChurnConfig, DataplaneConfig, DataplaneReport, LatencyHisto};
-use spal_lpm::{CountedLookup, Lpm};
+use spal_core::{ForwardingTable, ForwardingTable6, LpmAlgorithm, LpmAlgorithm6};
+use spal_dataplane::{
+    run, run6, ChurnConfig, Dataplane6Config, DataplaneConfig, DataplaneReport, LatencyHisto,
+};
+use spal_lpm::{CountedLookup, Lpm, Lpm6};
 use spal_traffic::Trace;
 use std::io::Write;
 
@@ -66,6 +68,7 @@ struct Options {
     prefixes: usize,
     seed: u64,
     quick: bool,
+    v6: bool,
     out: Option<String>,
     out_latency: Option<String>,
 }
@@ -76,6 +79,7 @@ fn parse_args() -> Options {
         prefixes: lookup::STRESS_PREFIXES,
         seed: 1,
         quick: false,
+        v6: false,
         out: None,
         out_latency: None,
     };
@@ -117,6 +121,7 @@ fn parse_args() -> Options {
                 i += 1;
                 opts.out_latency = Some(args.get(i).expect("--out-latency needs a path").clone());
             }
+            "--v6" => opts.v6 = true,
             "--rt1" => {}
             other => panic!("unknown flag {other:?}"),
         }
@@ -332,8 +337,192 @@ fn oracle_checksum(full: &ForwardingTable, trace: &Trace) -> u64 {
     sum
 }
 
+/// The `--v6` arm: the IPv6 dataplane (SHIP engines, 128-bit caches
+/// and fabric) over the DFZ-2026 v6 table. Gates: every churn-free
+/// run's checksum equals an oracle replay through the binary reference
+/// trie (bit-identical to `longest_match` by the equivalence suites,
+/// but O(prefix) per packet instead of an O(table) scan), in-run spot
+/// checks never disagree, the post-churn published tables match the
+/// control plane's RIB, and churn apply p99 stays under the same 50 ms
+/// ceiling as the IPv4 arm — scaled by threads/cores on oversubscribed
+/// hosts, where the control thread's wall-clock apply time measures the
+/// scheduler's time-slicing rather than the apply itself.
+fn run_v6(opts: &Options) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let tier = if opts.quick { "quick" } else { "full" };
+    let table = dfz::dfz_v6_table(opts.quick);
+    let trace = dfz::dfz_v6_trace(&table, opts.packets, opts.seed);
+    println!(
+        "bench_dataplane --v6 ({tier}): {} packets/config, table {} prefixes, {cores} host \
+         cores, best of {REPS}",
+        opts.packets,
+        table.len(),
+    );
+
+    // Oracle replay through the binary reference trie — bit-identical
+    // to `RoutingTable6::longest_match` (pinned by the ship_equiv and
+    // prop_v6 suites) but O(prefix length) per packet instead of the
+    // table scan, which at 200k routes x 2M packets would never finish.
+    let oracle_trie = ForwardingTable6::build(LpmAlgorithm6::Binary, &table);
+    let oracle: u64 = trace
+        .destinations()
+        .iter()
+        .map(|&addr| {
+            oracle_trie
+                .lookup(addr)
+                .map(|nh| nh.0 as u64 + 1)
+                .unwrap_or(0)
+        })
+        .sum();
+
+    let base_cfg = Dataplane6Config {
+        algorithm: LpmAlgorithm6::Ship,
+        cache: LrCacheConfig::paper(4096),
+        batch: 256,
+        ring_capacity: 8192,
+        spot_check_every: 64,
+        seed: opts.seed,
+        ..Default::default()
+    };
+    let measure6 = |traces: &[spal_traffic::Trace6], cfg: &Dataplane6Config| {
+        let mut best: Option<DataplaneReport> = None;
+        for _ in 0..REPS {
+            let report = run6(&table, traces, cfg);
+            if best.as_ref().is_none_or(|b| report.elapsed < b.elapsed) {
+                best = Some(report);
+            }
+        }
+        best.expect("at least one rep")
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut latency_rows: Vec<String> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    for workers in [1usize, 4] {
+        let cfg = Dataplane6Config {
+            workers,
+            ..base_cfg.clone()
+        };
+        let report = measure6(&trace.split(workers), &cfg);
+        let config = format!("v6-w{workers}");
+        let row = row_from(&config, "v6", true, &report, Some(oracle));
+        print_row(&row);
+        if row.checksum_ok == Some(false) {
+            failures.push(format!(
+                "{config}: checksum mismatch vs longest_match oracle"
+            ));
+        }
+        if row.spot_mismatches > 0 {
+            failures.push(format!(
+                "{config}: {} spot-check mismatches",
+                row.spot_mismatches
+            ));
+        }
+        latency_rows.push(latency_row(&config, workers, true, &report));
+        rows.push(row);
+    }
+
+    // Churn row: SHIP bin-granular patching with per-LC fragment
+    // rebuild on decline, targeted invalidation, zero-divergence gates.
+    let churn_workers = 4;
+    let churn_cfg = Dataplane6Config {
+        workers: churn_workers,
+        churn: Some(ChurnConfig {
+            updates: (opts.packets / 400).clamp(200, 20_000),
+            updates_per_publication: 50,
+            withdraw_fraction: 0.3,
+            pace_us: 100,
+        }),
+        ..base_cfg.clone()
+    };
+    let churn_report = measure6(&trace.split(churn_workers), &churn_cfg);
+    let config = format!("v6-w{churn_workers}-churn");
+    let row = row_from(&config, "v6", true, &churn_report, None);
+    let churn_stats = churn_report.churn.as_ref().expect("churn ran");
+    print_row(&row);
+    println!(
+        "  {:22} {} updates in {} pubs | apply mean {:.1} us p99 {:.1} us max {:.1} us | \
+         {} patched / {} rebuilt",
+        "",
+        churn_stats.updates_applied,
+        churn_stats.publications,
+        churn_stats.apply_us.mean_us(),
+        churn_stats.apply_us.p99_us(),
+        churn_stats.apply_us.max_us,
+        churn_stats.delta_applies,
+        churn_stats.rebuild_applies,
+    );
+    if row.spot_mismatches > 0 {
+        failures.push(format!(
+            "{config}: {} spot-check mismatches",
+            row.spot_mismatches
+        ));
+    }
+    if churn_stats.final_mismatches > 0 {
+        failures.push(format!(
+            "{config}: published tables diverged from RIB in {} samples",
+            churn_stats.final_mismatches
+        ));
+    }
+    // Same 50 ms apply ceiling as the IPv4 arm — when the control
+    // thread actually gets a core. Oversubscribed hosts (fewer cores
+    // than workers + control) time-slice the apply against spinning
+    // workers, inflating wall-clock apply ~(threads/cores)x, so the
+    // ceiling scales by that factor there (mirroring the host-aware
+    // scaling/degradation gates above); the measured p99 is still
+    // recorded in the JSON row either way.
+    const V6_APPLY_P99_CEILING_US: f64 = 50_000.0;
+    let threads = churn_workers + 1;
+    let ceiling = if cores >= threads {
+        V6_APPLY_P99_CEILING_US
+    } else {
+        V6_APPLY_P99_CEILING_US * threads as f64 / cores as f64
+    };
+    let p99 = churn_stats.apply_us.p99_us();
+    let verdict = if p99 <= ceiling { "ok" } else { "FAIL" };
+    let host = if cores >= threads {
+        String::new()
+    } else {
+        format!(", {cores}-core host running {threads} threads")
+    };
+    println!("  v6 churn apply p99 {p99:.1} us (ceiling {ceiling:.0} us{host}) {verdict}");
+    if p99 > ceiling {
+        failures.push(format!(
+            "{config}: apply p99 {p99:.1} us > {ceiling:.0} us ceiling"
+        ));
+    }
+    latency_rows.push(latency_row(&config, churn_workers, true, &churn_report));
+    rows.push(row);
+
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dataplane6.json");
+    let out = opts.out.as_deref().unwrap_or(default_out);
+    write_json(out, &rows, cores).expect("writing benchmark JSON");
+    println!("wrote {} rows to {out}", rows.len());
+
+    let default_latency = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_latency6.json");
+    let out_latency = opts.out_latency.as_deref().unwrap_or(default_latency);
+    write_latency_json(out_latency, &latency_rows).expect("writing latency JSON");
+    println!("wrote {} rows to {out_latency}", latency_rows.len());
+
+    if !failures.is_empty() {
+        eprintln!("bench_dataplane --v6 FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench_dataplane --v6 passed");
+}
+
 fn main() {
     let opts = parse_args();
+    if opts.v6 {
+        run_v6(&opts);
+        return;
+    }
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

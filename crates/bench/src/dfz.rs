@@ -1,0 +1,465 @@
+//! DFZ-2026-scale benchmark arms: the ~1M-prefix IPv4 sweep and the
+//! full-table IPv6 SHIP-vs-binary gate (`bench_lookup --dfz`), plus the
+//! workload constructors the `bench_dataplane --v6` arm shares.
+//!
+//! Three gates, all calibrated against the measured numbers recorded in
+//! EXPERIMENTS.md E25:
+//!
+//! * **build time** — every IPv4 engine must build the DFZ table under
+//!   a generous absolute ceiling (the gate catches an accidentally
+//!   quadratic build, not host noise), and SHIP must build within 2× of
+//!   the v6 binary trie (measured ≈ 0.5×);
+//! * **storage** — per-route byte ceilings ~50% above the measured
+//!   full-scale numbers for IPv4, and SHIP ≤ the binary trie for IPv6
+//!   (the acceptance criterion's storage half);
+//! * **lookup throughput** — SHIP must beat the binary trie on batched
+//!   full-table replay (the acceptance criterion's speed half); the
+//!   IPv4 engines are measured scalar-vs-batch with checksums asserted
+//!   equal, but their batch floors are only *enforced* at the 600k
+//!   calibration scale (`bench_lookup` without `--dfz`).
+
+use crate::lookup::{LookupRow, ReplayChecksum, ReplayMode, DEFAULT_BATCH, REPS};
+use spal_core::{ForwardingTable, ForwardingTable6, LpmAlgorithm, LpmAlgorithm6};
+use spal_lpm::{CountedLookup, Lpm, Lpm6};
+use spal_rib::v6::{dfz2026_v6, synthesize6_dfz, RoutingTable6};
+use spal_rib::{synth, RoutingTable};
+use spal_traffic::{generate6, preset, LocalityModel, PresetName, Trace, Trace6, TracePreset};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Quick-tier (CI) IPv4 table size. Matches `dfz_v4_quick` in
+/// `crates/lpm/tests/dfz_stress.rs` so the storage caps line up.
+pub const QUICK_V4_PREFIXES: usize = 150_000;
+
+/// Quick-tier (CI) IPv6 table size (matches `dfz_v6_quick`).
+pub const QUICK_V6_PREFIXES: usize = 30_000;
+
+/// Table-generation seed shared with the stress tests.
+pub const DFZ_SEED: u64 = 0xDF2026;
+
+/// Per-engine build-time ceilings (seconds). Full scale builds six
+/// engines over 1.01M routes; the slowest measured build is seconds,
+/// so a minute of headroom only trips on complexity regressions.
+pub fn build_ceiling_s(quick: bool) -> f64 {
+    if quick {
+        30.0
+    } else {
+        120.0
+    }
+}
+
+/// Full-scale per-route storage ceilings, ~50% above the measured
+/// DFZ-2026 numbers (1.01M routes: DIR-24-8 41.6, Lulea 8.1, LC 17.9,
+/// DP 33.6, Poptrie 7.7 B/route — EXPERIMENTS.md E25).
+pub const V4_FULL_CAPS: &[(&str, f64)] = &[
+    ("DIR-24-8", 65.0),
+    ("Lulea", 12.0),
+    ("LC", 27.0),
+    ("DP", 50.0),
+    ("Poptrie", 12.0),
+];
+
+/// Quick-tier ceilings: fixed-size structures (DIR-24-8's 32 MB base
+/// array) dominate per-route cost at 150k routes (measured 231.8
+/// B/route), so its cap is absolute-ish; the rest get 2× full caps.
+pub fn v4_caps(quick: bool) -> Vec<(&'static str, f64)> {
+    if quick {
+        V4_FULL_CAPS
+            .iter()
+            .map(|&(name, cap)| match name {
+                "DIR-24-8" => (name, 350.0),
+                _ => (name, cap * 2.0),
+            })
+            .collect()
+    } else {
+        V4_FULL_CAPS.to_vec()
+    }
+}
+
+/// The DFZ-2026 IPv4 table at the requested tier.
+pub fn dfz_v4_table(quick: bool) -> RoutingTable {
+    if quick {
+        synth::synthesize(&synth::SynthConfig::dfz2026(QUICK_V4_PREFIXES, DFZ_SEED))
+    } else {
+        synth::dfz2026_v4(DFZ_SEED)
+    }
+}
+
+/// The DFZ-2026 IPv6 table at the requested tier.
+pub fn dfz_v6_table(quick: bool) -> RoutingTable6 {
+    if quick {
+        synthesize6_dfz(QUICK_V6_PREFIXES, 0xD15C)
+    } else {
+        dfz2026_v6(0xD15C)
+    }
+}
+
+/// Near-uniform IPv4 stress stream over a DFZ table (same shape as
+/// [`crate::lookup::stress_workload`]'s trace: cache-adversarial, so
+/// the replay measures the engines, not the host cache).
+pub fn dfz_v4_trace(table: &RoutingTable, packets: usize, seed: u64) -> Trace {
+    TracePreset {
+        distinct: 2 * table.len(),
+        model: LocalityModel::Zipf { alpha: 0.05 },
+        ..preset(PresetName::D75)
+    }
+    .generate(table, packets, seed)
+}
+
+/// One engine-build measurement.
+#[derive(Debug, Clone)]
+pub struct BuildRow {
+    /// Engine name.
+    pub engine: String,
+    /// Wall seconds for one build.
+    pub build_s: f64,
+    /// `storage_bytes` of the built engine.
+    pub bytes: usize,
+}
+
+/// The IPv4 algorithms the DFZ arm sweeps. Multibit is excluded: its
+/// fixed 16-8-8 strides are not a forwarding-table choice and its DFZ
+/// storage is pinned by the stress tests instead.
+pub const DFZ_V4_ALGORITHMS: [LpmAlgorithm; 5] = [
+    LpmAlgorithm::Dir24,
+    LpmAlgorithm::Lulea,
+    LpmAlgorithm::Lc { fill_factor: 0.25 },
+    LpmAlgorithm::Dp,
+    LpmAlgorithm::Poptrie,
+];
+
+/// Build every DFZ-swept IPv4 engine, timing each build and checking
+/// the build-time ceiling and the per-route storage caps. Returns the
+/// engines (for the replay sweep), the build rows, and any violations.
+#[allow(clippy::type_complexity)]
+pub fn run_v4_build_gate(
+    table: &RoutingTable,
+    quick: bool,
+) -> (Vec<Arc<dyn Lpm + Send + Sync>>, Vec<BuildRow>, Vec<String>) {
+    let ceiling = build_ceiling_s(quick);
+    let caps = v4_caps(quick);
+    let mut engines: Vec<Arc<dyn Lpm + Send + Sync>> = Vec::new();
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for &alg in &DFZ_V4_ALGORITHMS {
+        let t0 = Instant::now();
+        let engine = ForwardingTable::build(alg, table);
+        let build_s = t0.elapsed().as_secs_f64();
+        let bytes = engine.storage_bytes();
+        let per_route = bytes as f64 / table.len() as f64;
+        let name = engine.name().to_string();
+        println!(
+            "  {:9} built in {:>7.2} s | {:>12} B ({per_route:>6.1} B/route, ceiling {ceiling} s)",
+            name, build_s, bytes
+        );
+        if build_s > ceiling {
+            failures.push(format!(
+                "{name}: DFZ build took {build_s:.1} s > {ceiling} s ceiling"
+            ));
+        }
+        if let Some(&(_, cap)) = caps.iter().find(|&&(n, _)| n == name) {
+            if per_route > cap {
+                failures.push(format!(
+                    "{name}: DFZ storage {per_route:.1} B/route > {cap} B/route cap"
+                ));
+            }
+        }
+        rows.push(BuildRow {
+            engine: name,
+            build_s,
+            bytes,
+        });
+        engines.push(Arc::new(engine));
+    }
+    (engines, rows, failures)
+}
+
+/// Replay an IPv6 trace once through `lpm`, sharded contiguously across
+/// `threads` scoped workers (the 128-bit mirror of
+/// [`crate::lookup::replay_once`]).
+pub fn replay6_once(
+    lpm: &(dyn Lpm6 + Sync),
+    dests: &[u128],
+    threads: usize,
+    mode: ReplayMode,
+) -> (ReplayChecksum, f64) {
+    let per = dests.len().div_ceil(threads.max(1));
+    let shards: Vec<&[u128]> = dests.chunks(per.max(1)).collect();
+    let start = Instant::now();
+    let partials: Vec<ReplayChecksum> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|&shard| scope.spawn(move || replay6_shard(lpm, shard, mode)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("v6 replay worker panicked"))
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let mut total = ReplayChecksum::default();
+    for p in partials {
+        total.merge(p);
+    }
+    (total, wall)
+}
+
+fn replay6_shard(lpm: &(dyn Lpm6 + Sync), shard: &[u128], mode: ReplayMode) -> ReplayChecksum {
+    let mut sum = ReplayChecksum::default();
+    match mode {
+        ReplayMode::Scalar => {
+            for &addr in shard {
+                sum.absorb(lpm.lookup_counted(addr));
+            }
+        }
+        ReplayMode::Batch { size } => {
+            let mut out = vec![CountedLookup::MISS; size];
+            for chunk in shard.chunks(size) {
+                lpm.lookup_batch(chunk, &mut out[..chunk.len()]);
+                for &c in &out[..chunk.len()] {
+                    sum.absorb(c);
+                }
+            }
+        }
+    }
+    sum
+}
+
+/// Best-of-[`REPS`] v6 replay with the checksum asserted stable.
+pub fn replay6(
+    lpm: &(dyn Lpm6 + Sync),
+    dests: &[u128],
+    threads: usize,
+    mode: ReplayMode,
+) -> (ReplayChecksum, f64) {
+    let mut best: Option<(ReplayChecksum, f64)> = None;
+    for _ in 0..REPS {
+        let (sum, wall) = replay6_once(lpm, dests, threads, mode);
+        if let Some((prev, best_wall)) = &mut best {
+            assert_eq!(*prev, sum, "v6 replay checksum changed between reps");
+            *best_wall = best_wall.min(wall);
+        } else {
+            best = Some((sum, wall));
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn row6(
+    lpm: &(dyn Lpm6 + Sync),
+    mode: ReplayMode,
+    threads: usize,
+    sum: ReplayChecksum,
+    wall: f64,
+) -> LookupRow {
+    LookupRow {
+        engine: lpm.name().to_string(),
+        mode: mode.label(),
+        threads,
+        packets_per_sec: sum.lookups as f64 / wall,
+        wall_ms: wall * 1e3,
+        mean_accesses: sum.mem_accesses as f64 / sum.lookups.max(1) as f64,
+        mean_lines: sum.lines_touched as f64 / sum.lookups.max(1) as f64,
+        storage_bytes: Lpm6::storage_bytes(lpm),
+    }
+}
+
+/// Result of [`run_v6_gate`].
+pub struct V6GateResult {
+    /// Scalar + batch rows per engine (SHIP first).
+    pub rows: Vec<LookupRow>,
+    /// Gate violations (empty = pass).
+    pub failures: Vec<String>,
+}
+
+/// SHIP build time must stay within this multiple of the v6 binary
+/// trie's (measured ≈ 0.5×, so 2× only trips on a real regression).
+pub const SHIP_BUILD_RATIO_CEILING: f64 = 2.0;
+
+/// The acceptance gate: build SHIP and the v6 binary trie over `table`,
+/// replay `trace` through both, and require SHIP to **beat the binary
+/// trie on batched lookup throughput at equal-or-lower storage** with a
+/// build time within [`SHIP_BUILD_RATIO_CEILING`]. Scalar and batch
+/// checksums are asserted equal per engine, and the two engines'
+/// checksums are asserted equal to each other (bit-identity on the
+/// benchmark stream itself).
+pub fn run_v6_gate(table: &RoutingTable6, trace: &Trace6, threads: usize) -> V6GateResult {
+    let build = |alg| {
+        // Best-of-3 build timing: quick-tier builds are milliseconds,
+        // where one scheduler hiccup would dominate a single sample.
+        let mut best: Option<(ForwardingTable6, f64)> = None;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let engine = ForwardingTable6::build(alg, table);
+            let s = t0.elapsed().as_secs_f64();
+            if best.as_ref().is_none_or(|&(_, b)| s < b) {
+                best = Some((engine, s));
+            }
+        }
+        best.expect("at least one build")
+    };
+    let (ship, ship_build) = build(LpmAlgorithm6::Ship);
+    let (binary, binary_build) = build(LpmAlgorithm6::Binary);
+    println!(
+        "  build: SHIP {:.1} ms vs binary {:.1} ms ({:.2}x, ceiling {SHIP_BUILD_RATIO_CEILING}x)",
+        ship_build * 1e3,
+        binary_build * 1e3,
+        ship_build / binary_build
+    );
+
+    let mode = ReplayMode::Batch {
+        size: DEFAULT_BATCH,
+    };
+    let mut rows = Vec::new();
+    let mut sums = Vec::new();
+    for engine in [&ship, &binary] {
+        let (scalar_row, batch_row, speedup) = measure6(engine, trace, threads, mode);
+        println!(
+            "  {:9} t={threads} scalar {:>11.0} pps | batch {:>11.0} pps | {speedup:.2}x \
+             ({:.2} acc, {:.2} lines/lookup, {} B)",
+            scalar_row.engine,
+            scalar_row.packets_per_sec,
+            batch_row.packets_per_sec,
+            scalar_row.mean_accesses,
+            scalar_row.mean_lines,
+            scalar_row.storage_bytes,
+        );
+        sums.push(batch_row.packets_per_sec);
+        rows.push(scalar_row);
+        rows.push(batch_row);
+    }
+
+    let mut failures = Vec::new();
+    let (ship_pps, binary_pps) = (sums[0], sums[1]);
+    let (ship_bytes, binary_bytes) = (ship.storage_bytes(), Lpm6::storage_bytes(&binary));
+    let speed_ok = ship_pps >= binary_pps;
+    let storage_ok = ship_bytes <= binary_bytes;
+    let build_ok = ship_build <= SHIP_BUILD_RATIO_CEILING * binary_build;
+    println!(
+        "  v6 gate: SHIP {:.2}x binary throughput (floor 1.0x) | {} B vs {} B | {}",
+        ship_pps / binary_pps,
+        ship_bytes,
+        binary_bytes,
+        if speed_ok && storage_ok && build_ok {
+            "ok"
+        } else {
+            "FAIL"
+        }
+    );
+    if !speed_ok {
+        failures.push(format!(
+            "SHIP batched throughput {ship_pps:.0} pps < binary trie {binary_pps:.0} pps"
+        ));
+    }
+    if !storage_ok {
+        failures.push(format!(
+            "SHIP storage {ship_bytes} B > binary trie {binary_bytes} B"
+        ));
+    }
+    if !build_ok {
+        failures.push(format!(
+            "SHIP build {:.1} ms > {SHIP_BUILD_RATIO_CEILING}x binary {:.1} ms",
+            ship_build * 1e3,
+            binary_build * 1e3
+        ));
+    }
+    V6GateResult { rows, failures }
+}
+
+/// Paired scalar/batch v6 measurement (the
+/// [`crate::lookup::measure_speedup`] shape at 128 bits): back-to-back
+/// reps, best pairwise ratio, checksums asserted equal across modes.
+pub fn measure6(
+    lpm: &(dyn Lpm6 + Sync),
+    trace: &Trace6,
+    threads: usize,
+    batch: ReplayMode,
+) -> (LookupRow, LookupRow, f64) {
+    let dests = trace.destinations();
+    let mut scalar_best: Option<(ReplayChecksum, f64)> = None;
+    let mut batch_best: Option<(ReplayChecksum, f64)> = None;
+    let mut speedup = 0.0f64;
+    for _ in 0..REPS {
+        let (s_sum, s_wall) = replay6_once(lpm, dests, threads, ReplayMode::Scalar);
+        let (b_sum, b_wall) = replay6_once(lpm, dests, threads, batch);
+        assert_eq!(s_sum, b_sum, "v6 batch replay diverged from scalar");
+        speedup = speedup.max(s_wall / b_wall);
+        if scalar_best.as_ref().is_none_or(|&(_, w)| s_wall < w) {
+            scalar_best = Some((s_sum, s_wall));
+        }
+        if batch_best.as_ref().is_none_or(|&(_, w)| b_wall < w) {
+            batch_best = Some((b_sum, b_wall));
+        }
+    }
+    let (s_sum, s_wall) = scalar_best.expect("at least one rep");
+    let (b_sum, b_wall) = batch_best.expect("at least one rep");
+    (
+        row6(lpm, ReplayMode::Scalar, threads, s_sum, s_wall),
+        row6(lpm, batch, threads, b_sum, b_wall),
+        speedup,
+    )
+}
+
+/// The `bench_dataplane --v6` traffic: a Zipf locality stream over the
+/// DFZ table (the v6 analogue of [`crate::lookup::dataplane_trace`]).
+pub fn dfz_v6_trace(table: &RoutingTable6, packets: usize, seed: u64) -> Trace6 {
+    generate6(table, 32_768.min(table.len() * 4), packets, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spal_lpm::ship::Ship6;
+
+    #[test]
+    fn v6_replay_modes_agree_and_count_everything() {
+        let table = synthesize6_dfz(2_000, 5);
+        let ship = Ship6::build(&table);
+        let trace = dfz_v6_trace(&table, 4_000, 9);
+        for threads in [1, 3] {
+            let (scalar, _) =
+                replay6_once(&ship, trace.destinations(), threads, ReplayMode::Scalar);
+            let (batch, _) = replay6_once(
+                &ship,
+                trace.destinations(),
+                threads,
+                ReplayMode::Batch { size: 32 },
+            );
+            assert_eq!(scalar, batch);
+            assert_eq!(scalar.lookups, 4_000);
+            assert!(scalar.hits > 0);
+        }
+    }
+
+    #[test]
+    fn v6_gate_passes_at_small_scale() {
+        let table = synthesize6_dfz(3_000, 11);
+        let trace = dfz_v6_trace(&table, 6_000, 3);
+        let result = run_v6_gate(&table, &trace, 1);
+        assert_eq!(result.rows.len(), 4);
+        // Storage is deterministic, so that half of the gate must hold
+        // even at toy scale; the throughput half is hardware-dependent
+        // and asserted only in the benchmark binaries.
+        assert!(
+            !result.failures.iter().any(|f| f.contains("storage")),
+            "{:?}",
+            result.failures
+        );
+    }
+
+    #[test]
+    fn quick_caps_cover_every_swept_engine() {
+        let caps = v4_caps(true);
+        for alg in DFZ_V4_ALGORITHMS {
+            let name = match alg {
+                LpmAlgorithm::Dir24 => "DIR-24-8",
+                LpmAlgorithm::Lulea => "Lulea",
+                LpmAlgorithm::Lc { .. } => "LC",
+                LpmAlgorithm::Dp => "DP",
+                LpmAlgorithm::Poptrie => "Poptrie",
+                _ => unreachable!(),
+            };
+            assert!(caps.iter().any(|&(n, _)| n == name), "no cap for {name}");
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //! figure — see `DESIGN.md`'s per-experiment index) and the Criterion
 //! micro-benches.
 
+pub mod dfz;
 pub mod fmt;
 pub mod lookup;
 pub mod setup;

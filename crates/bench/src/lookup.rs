@@ -68,7 +68,7 @@ pub struct ReplayChecksum {
 
 impl ReplayChecksum {
     #[inline]
-    fn absorb(&mut self, c: CountedLookup) {
+    pub(crate) fn absorb(&mut self, c: CountedLookup) {
         self.lookups += 1;
         if let Some(nh) = c.next_hop {
             self.hits += 1;
@@ -78,7 +78,7 @@ impl ReplayChecksum {
         self.lines_touched += c.lines_touched as u64;
     }
 
-    fn merge(&mut self, other: ReplayChecksum) {
+    pub(crate) fn merge(&mut self, other: ReplayChecksum) {
         self.lookups += other.lookups;
         self.hits += other.hits;
         self.next_hop_sum += other.next_hop_sum;

@@ -8,6 +8,7 @@
 //! spal gen-trace --preset D_75 --packets 100000 --table table.txt --out trace.txt
 //! spal simulate --psi 16 --beta 4096 --preset D_75 --packets 100000
 //! spal dataplane --workers 4 --engine lulea --churn 2000 --json
+//! spal dataplane6 --workers 4 --prefixes 50000 --churn 1000
 //! ```
 
 mod args;
@@ -43,6 +44,7 @@ fn main() {
         "analyze-trace" => cmd_analyze_trace(&args),
         "simulate" => cmd_simulate(&args),
         "dataplane" => cmd_dataplane(&args),
+        "dataplane6" => cmd_dataplane6(&args),
         "scenario" => cmd_scenario(&args),
         other => Err(ArgError(format!(
             "unknown command {other:?}; try 'spal help'"
@@ -86,6 +88,14 @@ commands:
              --faults injects seed-driven message drops/delays/dups and
              worker stalls (implies --deterministic) and exits non-zero
              on any oracle divergence
+  dataplane6 --workers N [--engine ship|binary] [--prefixes N]
+             [--beta B] [--gamma G] [--batch N] [--packets N]
+             [--churn UPDATES] [--publish-every N] [--withdraw-fraction F]
+             [--pace-us US] [--invalidation targeted|flush] [--scalar]
+             [--deterministic] [--seed S] [--json]
+             run the IPv6 dataplane (SHIP engines, 128-bit LR-caches
+             and fabric) over a DFZ-2026-shaped synthetic v6 table;
+             exits non-zero on any oracle divergence
   scenario   NAME|all [--quick] [--workers N] [--packets N] [--seed S]
              [--json] [--out FILE]
              run a scripted operational episode against the live
@@ -469,6 +479,114 @@ fn cmd_dataplane(args: &Args) -> Result<(), ArgError> {
     if report.oracle_divergence() > 0 {
         return Err(ArgError(format!(
             "{} oracle divergences — dataplane disagreed with the scalar full-table oracle",
+            report.oracle_divergence()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_dataplane6(args: &Args) -> Result<(), ArgError> {
+    use spal_core::LpmAlgorithm6;
+    use spal_dataplane::{run6, ChurnConfig, Dataplane6Config, InvalidationMode};
+    use spal_rib::v6::synthesize6_dfz;
+    use spal_traffic::generate6;
+
+    let workers = args.get_or("workers", 4usize)?;
+    if workers == 0 {
+        return Err(ArgError("--workers must be at least 1".into()));
+    }
+    let algorithm = match args.get("engine").unwrap_or("ship") {
+        "ship" => LpmAlgorithm6::Ship,
+        "binary" => LpmAlgorithm6::Binary,
+        other => return Err(ArgError(format!("unknown v6 engine {other:?}"))),
+    };
+    let prefixes = args.get_or("prefixes", 50_000usize)?;
+    let beta = args.get_or("beta", 4096usize)?;
+    let gamma = args.get_or("gamma", if beta <= 1024 { 0.25 } else { 0.5 })?;
+    let packets = args.get_or("packets", 100_000usize)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let churn_updates = args.get_or("churn", 0usize)?;
+    let churn = (churn_updates > 0).then(|| ChurnConfig {
+        updates: churn_updates,
+        updates_per_publication: args.get_or("publish-every", 50usize).unwrap_or(50),
+        withdraw_fraction: args.get_or("withdraw-fraction", 0.3f64).unwrap_or(0.3),
+        pace_us: args.get_or("pace-us", 200u64).unwrap_or(200),
+    });
+    let invalidation = match args.get("invalidation").unwrap_or("targeted") {
+        "targeted" => InvalidationMode::Targeted,
+        "flush" => InvalidationMode::FullFlush,
+        other => {
+            return Err(ArgError(format!(
+                "--invalidation must be 'targeted' or 'flush', got {other:?}"
+            )))
+        }
+    };
+
+    let table = synthesize6_dfz(prefixes, seed ^ 0xD15C);
+    let traces =
+        generate6(&table, 32_768.min(4 * prefixes), packets * workers, seed).split(workers);
+    let cfg = Dataplane6Config {
+        workers,
+        algorithm,
+        cache: LrCacheConfig {
+            blocks: beta,
+            mix_rem_fraction: gamma,
+            ..LrCacheConfig::default()
+        },
+        batch: args.get_or("batch", 32usize)?,
+        vector: !args.has("scalar"),
+        churn,
+        invalidation,
+        deterministic: args.has("deterministic"),
+        seed,
+        ..Dataplane6Config::default()
+    };
+    eprintln!(
+        "dataplane6: workers={workers} engine={} table={} v6 prefixes beta={beta} gamma={gamma} \
+         packets/worker={packets}{}",
+        algorithm.label(),
+        table.len(),
+        if churn_updates > 0 {
+            format!(" churn={churn_updates} updates")
+        } else {
+            String::new()
+        },
+    );
+    let report = run6(&table, &traces, &cfg);
+    if args.has("json") {
+        print!("{}", report.to_json());
+        return Ok(());
+    }
+    println!("{}", report.summary());
+    if let Some(c) = &report.churn {
+        println!(
+            "churn: {} invalidations sent, apply min/mean/max {:.1}/{:.1}/{:.1} µs, \
+             final check {}/{} consistent",
+            c.invalidations_sent,
+            c.apply_us.min_us,
+            c.apply_us.mean_us(),
+            c.apply_us.max_us,
+            c.final_checks - c.final_mismatches,
+            c.final_checks,
+        );
+    }
+    println!("\nlc  packets   hit-rate  remote-req  served  stale");
+    for w in &report.workers {
+        let probes = w.cache.probes().max(1);
+        let hits = w.cache.hits_loc + w.cache.hits_rem + w.cache.hits_waiting;
+        println!(
+            "{:>2}  {:>8}  {:>8.3}  {:>10}  {:>6}  {:>5}",
+            w.lc,
+            w.packets,
+            hits as f64 / probes as f64,
+            w.remote_requests,
+            w.remote_served,
+            w.stale_replies,
+        );
+    }
+    if report.oracle_divergence() > 0 {
+        return Err(ArgError(format!(
+            "{} oracle divergences — dataplane disagreed with the per-LC RIB oracle",
             report.oracle_divergence()
         )));
     }

@@ -20,11 +20,14 @@
 pub mod baseline;
 pub mod bits;
 pub mod fwd;
+pub mod fwd6;
 pub mod partition;
 pub mod router;
 pub mod v6;
 
 pub use bits::{select_bits, BitScore, BitSelectionStrategy};
 pub use fwd::{ForwardingTable, LpmAlgorithm};
+pub use fwd6::{ForwardingTable6, LpmAlgorithm6};
 pub use partition::{PartitionStats, Partitioning};
 pub use router::{LookupOutcome, SpalRouter, SpalRouterConfig};
+pub use v6::{select_bits6, Partitioning6};

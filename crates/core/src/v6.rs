@@ -82,6 +82,18 @@ impl Partitioning6 {
         self.group_to_lc[g]
     }
 
+    /// Every LC whose partition holds `prefix` (wildcard partitioning
+    /// bits replicate a prefix across several) — the control plane's
+    /// dispatch set for one route update.
+    pub fn lcs_of_prefix(&self, prefix: Prefix6) -> Vec<u16> {
+        let mut lcs: Vec<u16> = groups_of_prefix(&self.bits, prefix)
+            .map(|g| self.group_to_lc[g])
+            .collect();
+        lcs.sort_unstable();
+        lcs.dedup();
+        lcs
+    }
+
     /// The per-LC forwarding tables (ROT-partitions merged per LC).
     pub fn forwarding_tables(&self, table: &RoutingTable6) -> Vec<RoutingTable6> {
         let mut per_lc: Vec<Vec<RouteEntry6>> = vec![Vec::new(); self.psi];

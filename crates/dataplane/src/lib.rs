@@ -27,6 +27,7 @@ pub mod epoch;
 pub mod fault;
 pub mod report;
 pub mod runtime;
+pub mod runtime6;
 pub mod scenario;
 pub mod vcache;
 
@@ -39,6 +40,7 @@ pub use report::{
 pub use runtime::{
     run, ChurnConfig, DataplaneConfig, FailoverPlan, InvalidationMode, OverloadConfig,
 };
+pub use runtime6::{run6, Dataplane6Config};
 pub use scenario::{
     run_scenario, LiveProbe, RecoverySummary, ScenarioConfig, ScenarioKind, ScenarioReport,
 };

@@ -26,7 +26,7 @@ pub mod queue;
 pub mod spsc;
 pub mod topology;
 
-pub use msg::{AddrBatch, FabricMsg, MsgKind, ReplyBatch, BATCH_MSG_LANES};
+pub use msg::{AddrBatch, FabricAddr, FabricMsg, MsgKind, ReplyBatch, BATCH_MSG_LANES};
 pub use queue::Queue;
 pub use spsc::{spsc_ring, SpscConsumer, SpscProducer};
 pub use topology::{FabricModel, FabricStats, SendError, SwitchingFabric};

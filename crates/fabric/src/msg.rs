@@ -1,34 +1,46 @@
 //! Messages exchanged across the switching fabric.
+//!
+//! All message types are generic over the address width [`FabricAddr`]
+//! (`u32` IPv4, the default type parameter, or `u128` IPv6), so the
+//! same ring/outbox/coalescing machinery serves both dataplanes; a bare
+//! `FabricMsg` is the IPv4 message the v4 runtime always used.
+
+/// An address a fabric message can carry: plain old data wide enough
+/// for one destination IP.
+pub trait FabricAddr: Copy + Default + Eq + std::fmt::Debug + 'static {}
+impl FabricAddr for u32 {}
+impl FabricAddr for u128 {}
 
 /// Maximum addresses one batch message carries. Batch payloads are
 /// fixed-size inline arrays (the SPSC ring requires `Copy` slots, so no
-/// heap indirection): at 32 lanes a `FabricMsg` is ~290 bytes, which
+/// heap indirection): at 32 lanes a v4 `FabricMsg` is ~290 bytes, which
 /// keeps per-packet ring traffic under 10 bytes once a vector-mode
 /// worker coalesces its misses, without bloating ring memory the way a
-/// cache-line-per-address layout would.
+/// cache-line-per-address layout would. (A v6 batch message is ~4×
+/// larger — still far below a line per address.)
 pub const BATCH_MSG_LANES: usize = 32;
 
 /// Payload of a [`MsgKind::BatchRequest`]: up to [`BATCH_MSG_LANES`]
 /// addresses homed on the destination LC, coalesced from one sender
 /// iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct AddrBatch {
+pub struct AddrBatch<A: FabricAddr = u32> {
     len: u8,
-    addrs: [u32; BATCH_MSG_LANES],
+    addrs: [A; BATCH_MSG_LANES],
 }
 
-impl AddrBatch {
+impl<A: FabricAddr> AddrBatch<A> {
     /// Pack a slice of addresses.
     ///
     /// # Panics
     /// Panics if the slice is empty or longer than [`BATCH_MSG_LANES`].
-    pub fn from_slice(addrs: &[u32]) -> Self {
+    pub fn from_slice(addrs: &[A]) -> Self {
         assert!(
             !addrs.is_empty() && addrs.len() <= BATCH_MSG_LANES,
             "batch of {} addresses (lanes: {BATCH_MSG_LANES})",
             addrs.len()
         );
-        let mut packed = [0u32; BATCH_MSG_LANES];
+        let mut packed = [A::default(); BATCH_MSG_LANES];
         packed[..addrs.len()].copy_from_slice(addrs);
         AddrBatch {
             len: addrs.len() as u8,
@@ -37,7 +49,7 @@ impl AddrBatch {
     }
 
     /// The packed addresses, in sender order.
-    pub fn addrs(&self) -> &[u32] {
+    pub fn addrs(&self) -> &[A] {
         &self.addrs[..self.len as usize]
     }
 
@@ -58,24 +70,24 @@ impl AddrBatch {
 /// version (the carrying message's `sent_at`) — the home LC answers a
 /// coalesced request with one `lookup_batch` call and one of these.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ReplyBatch {
+pub struct ReplyBatch<A: FabricAddr = u32> {
     len: u8,
-    addrs: [u32; BATCH_MSG_LANES],
+    addrs: [A; BATCH_MSG_LANES],
     next_hops: [Option<u16>; BATCH_MSG_LANES],
 }
 
-impl ReplyBatch {
+impl<A: FabricAddr> ReplyBatch<A> {
     /// Pack `(address, next_hop)` pairs.
     ///
     /// # Panics
     /// Panics if the slice is empty or longer than [`BATCH_MSG_LANES`].
-    pub fn from_pairs(pairs: &[(u32, Option<u16>)]) -> Self {
+    pub fn from_pairs(pairs: &[(A, Option<u16>)]) -> Self {
         assert!(
             !pairs.is_empty() && pairs.len() <= BATCH_MSG_LANES,
             "batch of {} replies (lanes: {BATCH_MSG_LANES})",
             pairs.len()
         );
-        let mut addrs = [0u32; BATCH_MSG_LANES];
+        let mut addrs = [A::default(); BATCH_MSG_LANES];
         let mut next_hops = [None; BATCH_MSG_LANES];
         for (i, &(a, nh)) in pairs.iter().enumerate() {
             addrs[i] = a;
@@ -89,7 +101,7 @@ impl ReplyBatch {
     }
 
     /// Iterate the packed `(address, next_hop)` pairs in sender order.
-    pub fn iter(&self) -> impl Iterator<Item = (u32, Option<u16>)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (A, Option<u16>)> + '_ {
         (0..self.len as usize).map(move |i| (self.addrs[i], self.next_hops[i]))
     }
 
@@ -114,35 +126,35 @@ impl ReplyBatch {
 /// one message per destination LC per iteration instead of one per
 /// address, with the same per-address semantics on the receiving side.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MsgKind {
+pub enum MsgKind<A: FabricAddr = u32> {
     /// "Look this address up for me" — routed by the partitioning bits.
     Request,
     /// The lookup result: `Some(next_hop)` or `None` for a routing miss.
     Reply { next_hop: Option<u16> },
     /// Coalesced requests: every address is homed on the destination LC.
-    BatchRequest(AddrBatch),
+    BatchRequest(AddrBatch<A>),
     /// Coalesced replies, all stamped with the carrying message's
     /// `sent_at` table version.
-    BatchReply(ReplyBatch),
+    BatchReply(ReplyBatch<A>),
 }
 
 /// One message in flight over the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FabricMsg {
-    pub kind: MsgKind,
+pub struct FabricMsg<A: FabricAddr = u32> {
+    pub kind: MsgKind<A>,
     /// Originating LC (the reply's destination, read by the LR2 detector).
     pub src: u16,
     /// Destination LC (the home LC for requests).
     pub dst: u16,
     /// The packet's destination IP address.
-    pub addr: u32,
+    pub addr: A,
     /// Simulator-level packet identity (latency accounting).
     pub packet_id: u64,
     /// Cycle the message entered the fabric.
     pub sent_at: u64,
 }
 
-impl FabricMsg {
+impl<A: FabricAddr> FabricMsg<A> {
     /// Whether this is a request (scalar or batch).
     pub fn is_request(&self) -> bool {
         matches!(self.kind, MsgKind::Request | MsgKind::BatchRequest(_))
@@ -168,7 +180,7 @@ mod tests {
             kind: MsgKind::Request,
             src: 0,
             dst: 1,
-            addr: 42,
+            addr: 42u32,
             packet_id: 7,
             sent_at: 100,
         };
@@ -221,6 +233,27 @@ mod tests {
     }
 
     #[test]
+    fn v6_messages_carry_full_width_addresses() {
+        let addrs: Vec<u128> = (0..5u128).map(|i| (0x2001_0db8 + i) << 96 | i).collect();
+        let b: AddrBatch<u128> = AddrBatch::from_slice(&addrs);
+        assert_eq!(b.addrs(), &addrs[..]);
+        let msg: FabricMsg<u128> = FabricMsg {
+            kind: MsgKind::BatchRequest(b),
+            src: 1,
+            dst: 3,
+            addr: addrs[0],
+            packet_id: 0,
+            sent_at: 0,
+        };
+        assert!(msg.is_request());
+        assert_eq!(msg.lanes(), 5);
+        let pairs: Vec<(u128, Option<u16>)> =
+            addrs.iter().map(|&a| (a, Some((a & 0xF) as u16))).collect();
+        let rb: ReplyBatch<u128> = ReplyBatch::from_pairs(&pairs);
+        assert_eq!(rb.iter().collect::<Vec<_>>(), pairs);
+    }
+
+    #[test]
     #[should_panic]
     fn oversized_addr_batch_rejected() {
         let addrs = vec![0u32; BATCH_MSG_LANES + 1];
@@ -230,6 +263,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn empty_reply_batch_rejected() {
-        let _ = ReplyBatch::from_pairs(&[]);
+        let _ = ReplyBatch::<u32>::from_pairs(&[]);
     }
 }

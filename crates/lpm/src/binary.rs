@@ -7,8 +7,9 @@
 //! insert/withdraw, and is generic over address width so the IPv6
 //! extension (§6) can reuse it unchanged.
 
-use crate::{CountedLookup, LineSet, Lpm, BATCH_LANES};
+use crate::{CountedLookup, LineSet, Lpm, Lpm6, BATCH_LANES};
 use spal_rib::bits::AddressBits;
+use spal_rib::v6::RoutingTable6;
 use spal_rib::{NextHop, RoutingTable};
 
 /// Line-accounting region tag: the node arena (the only array read).
@@ -154,6 +155,122 @@ impl<A: AddressBits> GenericBinaryTrie<A> {
     /// Longest-prefix match for any address width.
     pub fn lookup_generic(&self, addr: A) -> Option<NextHop> {
         self.lookup_counted_generic(addr).next_hop
+    }
+
+    /// One interleaved group of [`BATCH_LANES`] lookups at any address
+    /// width — the [`BinaryTrie::lookup_quad`] walk generalized so the
+    /// IPv6 trie gets the same memory-level parallelism. Per-lane steps
+    /// mirror [`GenericBinaryTrie::lookup_counted_generic`] exactly.
+    fn lookup_quad_generic(&self, addrs: [A; BATCH_LANES]) -> [CountedLookup; BATCH_LANES] {
+        let nodes = &self.nodes;
+        let mut node = [0usize; BATCH_LANES];
+        let mut best = [nodes[0].route; BATCH_LANES];
+        let mut acc = [1u32; BATCH_LANES]; // root read
+        let mut depth = [0u8; BATCH_LANES];
+        let mut active = [true; BATCH_LANES];
+        let mut lines: [LineSet; BATCH_LANES] = std::array::from_fn(|_| LineSet::new());
+        for l in &mut lines {
+            l.touch(REGION_NODES, 0, NODE_BYTES);
+        }
+        loop {
+            let mut any = false;
+            for l in 0..BATCH_LANES {
+                if !active[l] {
+                    continue;
+                }
+                if depth[l] >= A::BITS {
+                    active[l] = false;
+                    continue;
+                }
+                let child = nodes[node[l]].children[addrs[l].bit(depth[l]) as usize];
+                if child == NONE {
+                    active[l] = false;
+                    continue;
+                }
+                node[l] = child as usize;
+                acc[l] += 1;
+                lines[l].touch(REGION_NODES, node[l] * NODE_BYTES, NODE_BYTES);
+                if let Some(nh) = nodes[node[l]].route {
+                    best[l] = Some(nh);
+                }
+                depth[l] += 1;
+                any = true;
+            }
+            if !any {
+                break;
+            }
+        }
+        std::array::from_fn(|l| CountedLookup {
+            next_hop: best[l],
+            mem_accesses: acc[l],
+            lines_touched: lines[l].count(),
+        })
+    }
+}
+
+impl GenericBinaryTrie<u128> {
+    /// Build an IPv6 binary trie from a routing table.
+    pub fn build6(table: &RoutingTable6) -> Self {
+        let mut trie = Self::new();
+        for e in table.entries() {
+            trie.insert(e.prefix.bits(), e.prefix.len(), e.next_hop);
+        }
+        trie
+    }
+}
+
+impl Lpm6 for GenericBinaryTrie<u128> {
+    fn lookup_counted(&self, addr: u128) -> CountedLookup {
+        self.lookup_counted_generic(addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[u128], out: &mut [CountedLookup]) {
+        assert_eq!(
+            addrs.len(),
+            out.len(),
+            "lookup_batch: addrs and out must have equal lengths"
+        );
+        let mut i = 0;
+        while i + BATCH_LANES <= addrs.len() {
+            let group = [addrs[i], addrs[i + 1], addrs[i + 2], addrs[i + 3]];
+            out[i..i + BATCH_LANES].copy_from_slice(&self.lookup_quad_generic(group));
+            i += BATCH_LANES;
+        }
+        for k in i..addrs.len() {
+            out[k] = self.lookup_counted_generic(addrs[k]);
+        }
+    }
+
+    /// Natively incremental, same as the IPv4 impl: replay each change
+    /// through insert/remove along the changed prefix's path.
+    fn apply_delta(
+        &mut self,
+        changed: &[spal_rib::v6::Prefix6],
+        rib: &RoutingTable6,
+    ) -> Option<crate::DeltaStats> {
+        let before = self.nodes.len();
+        for &p in changed {
+            match rib.get(p) {
+                Some(nh) => {
+                    self.insert(p.bits(), p.len(), nh);
+                }
+                None => {
+                    self.remove(p.bits(), p.len());
+                }
+            }
+        }
+        Some(crate::DeltaStats {
+            prefixes_applied: changed.len(),
+            bytes_touched: (changed.len() + self.nodes.len().abs_diff(before)) * NODE_BYTES,
+        })
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.nodes.len() * NODE_BYTES
+    }
+
+    fn name(&self) -> &'static str {
+        "Binary"
     }
 }
 

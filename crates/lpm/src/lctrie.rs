@@ -76,6 +76,10 @@ pub struct LcTrie {
     /// for incremental patching (chain resolution); not part of the
     /// modelled SRAM footprint.
     internal_idx: HashMap<Prefix, u32>,
+    /// Control-plane shadow of `prefixes`: the full prefix at each slot
+    /// (the SRAM entry models only the length). Needed to re-thread
+    /// chains when a classification flip inserts or removes a slot.
+    internal_keys: Vec<Prefix>,
     /// Distinct leaves currently reachable from the node array. Patched
     /// rebuilds append base segments and strand the old copies, so
     /// `base.len() - live_base` is the garbage the next full rebuild
@@ -171,6 +175,7 @@ impl LcTrie {
             .enumerate()
             .map(|(i, &(p, _))| (p, i as u32))
             .collect();
+        let internal_keys: Vec<Prefix> = internal.iter().map(|&(p, _)| p).collect();
         let live_base = base.len();
         let mut trie = LcTrie {
             nodes: Vec::new(),
@@ -179,6 +184,7 @@ impl LcTrie {
             fill_factor,
             routes,
             internal_idx,
+            internal_keys,
             live_base,
         };
         if trie.base.is_empty() {
@@ -440,7 +446,28 @@ impl LcTrie {
         }
         entries.sort_by_key(|e| e.bits);
         let n = entries.len();
-        if n == 0 && node_idx != 0 {
+        if node_idx == 0 {
+            // Root-spanning change (e.g. an announce shorter than every
+            // current leaf): compact instead of stranding the whole old
+            // structure as garbage — clear both arenas and rebuild from
+            // the live leaf set. Chains were recomputed per entry above;
+            // the prefix vector is untouched.
+            self.nodes.clear();
+            self.base.clear();
+            self.live_base = n;
+            let adr = if n == 0 { NONE } else { 0 };
+            self.nodes.push(Node {
+                branch: 0,
+                skip: 0,
+                adr,
+            });
+            self.base.extend(entries);
+            if n > 1 {
+                self.subdivide(0, 0, n, 0);
+            }
+            return Some(NODE_BYTES * self.nodes.len() + BASE_BYTES * n);
+        }
+        if n == 0 {
             // Every distinct leaf under this node was a stale backer copy
             // of an already-withdrawn prefix (the rib refresh dropped them
             // all). Only the root may become an empty leaf; anywhere else
@@ -595,52 +622,167 @@ impl LcTrie {
         }
     }
 
+    /// Append `p` to the prefix vector (new internal route, or a leaf →
+    /// internal flip) and re-thread chains: every entry strictly below
+    /// `p` whose chain currently skips past it must now stop at `p`
+    /// first. Stale base copies are re-threaded too — they still serve
+    /// as chain heads for backed slots. Returns modelled bytes touched.
+    fn add_internal(&mut self, p: Prefix, nh: NextHop) -> usize {
+        let j = self.prefixes.len() as u32;
+        self.prefixes.push(PrefixEntry {
+            len: p.len(),
+            next_hop: nh,
+            chain: self.chain_of(p),
+        });
+        self.internal_keys.push(p);
+        self.internal_idx.insert(p, j);
+        let mut touched = PREFIX_BYTES;
+        // A chain pointer shallower than p (or NONE) on a strict
+        // descendant means the chain skips p; deeper pointers reach p
+        // transitively once their own entries are re-threaded.
+        for i in 0..self.base.len() {
+            let e = self.base[i];
+            let q = Prefix::new(e.bits, e.len).expect("stored prefixes are canonical");
+            if q != p && p.contains(q) {
+                let c = self.base[i].chain;
+                if c == NONE || self.prefixes[c as usize].len < p.len() {
+                    self.base[i].chain = j;
+                    touched += 4;
+                }
+            }
+        }
+        for qi in 0..self.internal_keys.len() {
+            let q = self.internal_keys[qi];
+            if q != p && p.contains(q) {
+                let c = self.prefixes[qi].chain;
+                if c == NONE || self.prefixes[c as usize].len < p.len() {
+                    self.prefixes[qi].chain = j;
+                    touched += 4;
+                }
+            }
+        }
+        touched
+    }
+
+    /// Remove `p` from the prefix vector (internal withdraw, or an
+    /// internal → leaf flip), re-threading every chain through it to its
+    /// own next ancestor and patching up the swap-removed slot's index.
+    /// Returns modelled bytes touched.
+    fn remove_internal(&mut self, p: Prefix) -> usize {
+        let i = self
+            .internal_idx
+            .remove(&p)
+            .expect("flip source is internal");
+        let removed = self.prefixes.swap_remove(i as usize);
+        self.internal_keys.swap_remove(i as usize);
+        let last = self.prefixes.len() as u32; // old index of the entry now at i
+        if i != last {
+            let moved = self.internal_keys[i as usize];
+            self.internal_idx.insert(moved, i);
+        }
+        // If p's own ancestor sat in the slot that just moved, chase it.
+        let bypass = if removed.chain == last && i != last {
+            i
+        } else {
+            removed.chain
+        };
+        let mut touched = PREFIX_BYTES;
+        for e in &mut self.base {
+            if e.chain == i {
+                e.chain = bypass;
+                touched += 4;
+            } else if e.chain == last {
+                e.chain = i;
+                touched += 4;
+            }
+        }
+        for pe in &mut self.prefixes {
+            if pe.chain == i {
+                pe.chain = bypass;
+                touched += 4;
+            } else if pe.chain == last {
+                pe.chain = i;
+                touched += 4;
+            }
+        }
+        touched
+    }
+
+    /// After removing `p` from the route set, the deepest stored internal
+    /// ancestor may have lost its last strict descendant; flip it back to
+    /// a leaf. At most one ancestor can flip — any shallower internal
+    /// ancestor keeps the flipped route itself as a strict descendant.
+    /// Ancestors withdrawn in the same batch are skipped; their own
+    /// `changed` entry removes them.
+    fn flip_childless_ancestor(&mut self, p: Prefix, rib: &RoutingTable) -> Option<usize> {
+        let mut anc = p;
+        while let Some(a) = anc.parent() {
+            anc = a;
+            if self.internal_idx.contains_key(&anc)
+                && rib.get(anc).is_some()
+                && !rib.has_strict_descendant_except(anc, &[])
+            {
+                let bytes = self.remove_internal(anc);
+                return Some(bytes + self.insert_leaf(anc, rib)?);
+            }
+        }
+        Some(0)
+    }
+
     /// Patch one changed prefix, or `None` to demand a full rebuild.
-    /// Declines on every leaf/internal classification flip — those move
-    /// prefixes between the base and prefix vectors and re-thread chains,
-    /// which patch granularity cannot express.
+    /// Leaf announces/withdrawals rebuild the deepest covering subtree;
+    /// internal re-targets write one prefix-vector slot; leaf/internal
+    /// classification flips move the prefix between the base and prefix
+    /// vectors with a chain re-thread (including flips induced on stored
+    /// ancestors). The only remaining decline is a subtree whose live
+    /// leaves all vanished under a non-root node (`rebuild_at`).
     fn patch_prefix(&mut self, p: Prefix, rib: &RoutingTable) -> Option<usize> {
         let now = rib.get(p);
         let was_internal = self.internal_idx.contains_key(&p);
         match now {
             Some(nh) if was_internal => {
-                if !rib.has_strict_descendant_except(p, &[]) {
-                    return None; // internal → leaf flip
-                }
-                let i = self.internal_idx[&p] as usize;
-                self.prefixes[i].next_hop = nh;
-                Some(PREFIX_BYTES)
-            }
-            None if was_internal => None, // internal withdraw re-threads chains
-            Some(_) => {
                 if rib.has_strict_descendant_except(p, &[]) {
-                    return None; // new internal, or leaf → internal flip
+                    let i = self.internal_idx[&p] as usize;
+                    self.prefixes[i].next_hop = nh;
+                    Some(PREFIX_BYTES)
+                } else {
+                    // internal → leaf flip: the descendants are gone.
+                    let bytes = self.remove_internal(p);
+                    Some(bytes + self.insert_leaf(p, rib)?)
                 }
-                // A stored strict ancestor that is not yet internal must
-                // become one now that `p` sits beneath it.
-                let mut anc = p;
-                while let Some(a) = anc.parent() {
-                    anc = a;
-                    if rib.get(anc).is_some() && !self.internal_idx.contains_key(&anc) {
-                        return None;
+            }
+            None if was_internal => {
+                // Internal withdraw: descendants' chains bypass p, and an
+                // internal ancestor left childless flips back to a leaf.
+                let bytes = self.remove_internal(p);
+                Some(bytes + self.flip_childless_ancestor(p, rib)?)
+            }
+            Some(nh) => {
+                if rib.has_strict_descendant_except(p, &[]) {
+                    // New internal route, or a leaf → internal flip.
+                    let bytes = self.add_internal(p, nh);
+                    Some(bytes + self.withdraw_leaf(p, rib)?)
+                } else {
+                    // Stored strict ancestors not yet internal flip first,
+                    // so p's chain (and its subtree rebuilds) resolve
+                    // through them.
+                    let mut bytes = 0usize;
+                    let mut anc = p;
+                    while let Some(a) = anc.parent() {
+                        anc = a;
+                        if let Some(anh) = rib.get(anc) {
+                            if !self.internal_idx.contains_key(&anc) {
+                                bytes += self.add_internal(anc, anh);
+                                bytes += self.withdraw_leaf(anc, rib)?;
+                            }
+                        }
                     }
+                    Some(bytes + self.insert_leaf(p, rib)?)
                 }
-                self.insert_leaf(p, rib)
             }
             None => {
-                // A stored internal ancestor left without any strict
-                // descendant must flip back to a leaf.
-                let mut anc = p;
-                while let Some(a) = anc.parent() {
-                    anc = a;
-                    if self.internal_idx.contains_key(&anc)
-                        && rib.get(anc).is_some()
-                        && !rib.has_strict_descendant_except(anc, &[])
-                    {
-                        return None;
-                    }
-                }
-                self.withdraw_leaf(p, rib)
+                let bytes = self.withdraw_leaf(p, rib)?;
+                Some(bytes + self.flip_childless_ancestor(p, rib)?)
             }
         }
     }
@@ -703,9 +845,11 @@ impl Lpm for LcTrie {
 
     /// Dirty-subtrie patching. Leaf announces, withdrawals and
     /// re-targets rebuild only the deepest covering node's subtree;
-    /// internal re-targets write one prefix-vector slot. Classification
-    /// flips and garbage buildup (stranded base segments exceeding the
-    /// live leaf count) decline, handing the caller a full rebuild.
+    /// internal re-targets write one prefix-vector slot; leaf/internal
+    /// classification flips splice the prefix vector and re-thread
+    /// chains. Garbage buildup (stranded base segments exceeding the
+    /// live leaf count) declines, handing the caller a full rebuild
+    /// that reclaims the stranded space.
     fn apply_delta(&mut self, changed: &[Prefix], rib: &RoutingTable) -> Option<DeltaStats> {
         if self.base.len() > (2 * self.live_base).max(64) {
             return None; // stranded segments dominate: rebuild reclaims them
@@ -999,9 +1143,9 @@ mod tests {
             ("172.16.0.0/12", Some(7), true),  // new leaf in fresh space
             ("192.168.1.0/24", None, true),    // withdraw rebuilds the parent
             ("10.9.0.0/16", None, true),       // withdraw a build-time leaf
-            ("10.1.0.0/16", None, false),      // internal withdraw declines
-            ("10.1.2.9/32", Some(8), false),   // flips 10.1.2.0/24 to internal
-            ("10.1.2.9/32", None, false),      // flips it back: also declines
+            ("10.1.0.0/16", None, true),       // internal withdraw re-threads
+            ("10.1.2.9/32", Some(8), true),    // flips 10.1.2.0/24 to internal
+            ("10.1.2.9/32", None, true),       // flips it back to a leaf
         ];
         for &(s, nh, expect_patch) in steps {
             let p: Prefix = s.parse().unwrap();
@@ -1051,17 +1195,30 @@ mod tests {
     }
 
     #[test]
-    fn delta_declines_classification_flips() {
+    fn delta_patches_classification_flips() {
+        // Withdrawing the /16 leaves the internal /8 without descendants:
+        // /8 must flip back to a leaf inside the patch.
         let rt0 = table(&[("10.0.0.0/8", 1), ("10.1.0.0/16", 2)]);
         let mut trie = LcTrie::build(&rt0);
-        // Withdrawing the /16 leaves the internal /8 without descendants.
         let mut rt = rt0.clone();
         rt.remove("10.1.0.0/16".parse().unwrap());
         assert!(trie
             .apply_delta(&["10.1.0.0/16".parse().unwrap()], &rt)
-            .is_none());
+            .is_some());
+        assert_eq!(trie.lookup(0x0A01_0203), Some(NextHop(1)));
+        assert_eq!(trie.lookup(0x0B00_0000), None);
+        // A later re-target of the flipped /8 must hit the leaf copy.
+        rt.insert(RouteEntry {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            next_hop: NextHop(7),
+        });
+        assert!(trie
+            .apply_delta(&["10.0.0.0/8".parse().unwrap()], &rt)
+            .is_some());
+        assert_eq!(trie.lookup(0x0A01_0203), Some(NextHop(7)));
 
-        // Announcing below the leaf /16 flips it to internal.
+        // Announcing below the leaf /16 flips it to internal; lookups
+        // between the two must now chain through it.
         let mut trie = LcTrie::build(&rt0);
         let mut rt = rt0.clone();
         let deep: Prefix = "10.1.2.0/24".parse().unwrap();
@@ -1069,7 +1226,92 @@ mod tests {
             prefix: deep,
             next_hop: NextHop(3),
         });
-        assert!(trie.apply_delta(&[deep], &rt).is_none());
+        assert!(trie.apply_delta(&[deep], &rt).is_some());
+        assert_eq!(trie.lookup(0x0A01_0203), Some(NextHop(3)));
+        assert_eq!(trie.lookup(0x0A01_0303), Some(NextHop(2)));
+        assert_eq!(trie.lookup(0x0A02_0000), Some(NextHop(1)));
+
+        // A batch whose announce order lists the deep leaf before its
+        // brand-new ancestors forces the ancestor-flip walk.
+        let mut rt = rt0.clone();
+        let mut trie = LcTrie::build(&rt);
+        for (s, nh) in [("10.1.2.0/24", 3), ("10.1.2.0/25", 4), ("10.1.2.0/26", 5)] {
+            rt.insert(RouteEntry {
+                prefix: s.parse().unwrap(),
+                next_hop: NextHop(nh),
+            });
+        }
+        let changed: Vec<Prefix> = ["10.1.2.0/26", "10.1.2.0/25", "10.1.2.0/24"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert!(trie.apply_delta(&changed, &rt).is_some());
+        let fresh = LcTrie::build(&rt);
+        for a in [
+            0x0A01_0200u32,
+            0x0A01_0250,
+            0x0A01_02C0,
+            0x0A01_0300,
+            0x0A02_0000,
+        ] {
+            assert_eq!(trie.lookup(a), fresh.lookup(a), "addr {a:#010x}");
+            assert_eq!(trie.lookup(a), rt.longest_match(a).map(|e| e.next_hop));
+        }
+    }
+
+    /// DFZ-shaped churn regression: before classification flips were
+    /// patchable, every 256-update batch at this nesting density
+    /// declined (8/8 at both 150k and 1M — see EXPERIMENTS.md E25). The
+    /// patch path must absorb whole batches and stay oracle-equivalent.
+    #[test]
+    fn delta_survives_dfz_churn_without_decline() {
+        use spal_rib::updates::{update_stream, Update, UpdateStreamConfig};
+        let table = synth::synthesize(&synth::SynthConfig::dfz2026(8_000, 0xFEE1));
+        let mut trie = LcTrie::build(&table);
+        let (updates, fin) = update_stream(
+            &table,
+            &UpdateStreamConfig {
+                count: 600,
+                withdraw_fraction: 0.3,
+                seed: 0xBEEF,
+            },
+        );
+        let mut rib = table.clone();
+        let mut declines = 0usize;
+        for chunk in updates.chunks(64) {
+            let mut changed: Vec<Prefix> = Vec::new();
+            for &u in chunk {
+                let p = match u {
+                    Update::Announce(e) => e.prefix,
+                    Update::Withdraw(p) => p,
+                };
+                if !changed.contains(&p) {
+                    changed.push(p);
+                }
+                spal_rib::updates::apply(&mut rib, u);
+            }
+            if trie.apply_delta(&changed, &rib).is_none() {
+                declines += 1;
+                trie = LcTrie::build(&rib);
+            }
+        }
+        assert_eq!(rib.len(), fin.len());
+        // The garbage guard may still fire late in a long stream; the
+        // flip paths themselves must not decline on the first batches.
+        assert!(
+            declines <= 2,
+            "classification flips regressed to declines: {declines}/10 batches"
+        );
+        let fresh = LcTrie::build(&fin);
+        let mut addrs: Vec<u32> = Vec::new();
+        for e in fin.entries().iter().step_by(7) {
+            addrs.push(e.prefix.first_addr());
+            addrs.push(e.prefix.first_addr() ^ 1);
+            addrs.push(e.prefix.last_addr());
+        }
+        for &a in &addrs {
+            assert_eq!(trie.lookup(a), fresh.lookup(a), "addr {a:#010x}");
+        }
     }
 
     #[test]

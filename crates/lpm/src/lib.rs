@@ -30,9 +30,11 @@ pub mod lulea;
 pub mod model;
 pub mod multibit;
 pub mod poptrie;
+pub mod ship;
 
 pub use delta::DeltaStats;
 
+use spal_rib::v6::{Prefix6, RoutingTable6};
 use spal_rib::{NextHop, Prefix, RoutingTable};
 
 /// Result of an instrumented lookup.
@@ -244,6 +246,73 @@ pub trait Lpm {
 
     /// Short human-readable algorithm name ("DP", "Lulea", "LC", …).
     fn name(&self) -> &'static str;
+}
+
+/// A longest-prefix-match structure over 128-bit (IPv6) addresses —
+/// the [`Lpm`] contract at the wider address width. Same semantics:
+/// instrumented lookups, bit-identical batching, and `apply_delta`
+/// patch-or-decline against the post-update table.
+pub trait Lpm6 {
+    /// Longest-prefix match for `addr`.
+    fn lookup(&self, addr: u128) -> Option<NextHop> {
+        self.lookup_counted(addr).next_hop
+    }
+
+    /// Longest-prefix match with access and cache-line counts.
+    fn lookup_counted(&self, addr: u128) -> CountedLookup;
+
+    /// Batched lookup; must be bit-identical to the scalar path (same
+    /// next hops, same `mem_accesses`, same `lines_touched`).
+    ///
+    /// # Panics
+    /// Panics if `addrs` and `out` differ in length.
+    fn lookup_batch(&self, addrs: &[u128], out: &mut [CountedLookup]) {
+        assert_eq!(
+            addrs.len(),
+            out.len(),
+            "lookup_batch: addrs and out must have equal lengths"
+        );
+        for (o, &a) in out.iter_mut().zip(addrs) {
+            *o = self.lookup_counted(a);
+        }
+    }
+
+    /// Patch in place after route changes; see [`Lpm::apply_delta`] for
+    /// the contract (`None` = declined, caller must rebuild from `rib`).
+    fn apply_delta(&mut self, changed: &[Prefix6], rib: &RoutingTable6) -> Option<DeltaStats> {
+        let _ = (changed, rib);
+        None
+    }
+
+    /// Bytes of SRAM under the engine's modeled layout.
+    fn storage_bytes(&self) -> usize;
+
+    /// Short human-readable algorithm name.
+    fn name(&self) -> &'static str;
+}
+
+/// Mean memory accesses per lookup over a set of IPv6 addresses.
+pub fn mean_accesses6<L: Lpm6 + ?Sized>(lpm: &L, addrs: &[u128]) -> f64 {
+    if addrs.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = addrs
+        .iter()
+        .map(|&a| lpm.lookup_counted(a).mem_accesses as u64)
+        .sum();
+    total as f64 / addrs.len() as f64
+}
+
+/// Mean distinct cache lines per lookup over a set of IPv6 addresses.
+pub fn mean_lines6<L: Lpm6 + ?Sized>(lpm: &L, addrs: &[u128]) -> f64 {
+    if addrs.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = addrs
+        .iter()
+        .map(|&a| lpm.lookup_counted(a).lines_touched as u64)
+        .sum();
+    total as f64 / addrs.len() as f64
 }
 
 /// Shared driver for the engines' specialized batch paths: feed full

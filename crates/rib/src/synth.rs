@@ -33,6 +33,19 @@ const LENGTH_WEIGHTS: [f64; 33] = [
     0.30, 0.45, 0.35, 0.30, 0.40, 0.30, 0.02, 0.65, // 25-32
 ];
 
+/// Length weights for the DFZ-2026 preset, modelled on the modern
+/// default-free zone (CIDR-report / potaroo shape circa 2025): /24 is an
+/// even larger share than in 2003 (~57 %), the /20–/23 band has grown at
+/// /16's expense, and almost everything longer than /24 is filtered, save
+/// a residue of host routes. Index = prefix length.
+const DFZ2026_LENGTH_WEIGHTS: [f64; 33] = [
+    0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, // 0-7
+    0.02, 0.01, 0.04, 0.10, 0.30, 0.55, 1.0, 1.7, // 8-15
+    3.7, 2.0, 3.3, 4.7, 5.4, 5.2, 8.2, 5.5,  // 16-23
+    57.0, // 24
+    0.20, 0.15, 0.10, 0.08, 0.10, 0.05, 0.01, 0.60, // 25-32
+];
+
 /// Configuration for the synthetic table generator.
 #[derive(Debug, Clone)]
 pub struct SynthConfig {
@@ -47,6 +60,9 @@ pub struct SynthConfig {
     /// Number of distinct next hops to assign (the paper's routers have up
     /// to 16 LCs; real tables resolve to a few dozen peers).
     pub next_hops: u16,
+    /// Per-length sampling weights; defaults to the 2003-era backbone
+    /// shape, [`SynthConfig::dfz2026`] swaps in the modern one.
+    pub length_weights: &'static [f64; 33],
 }
 
 impl SynthConfig {
@@ -57,6 +73,17 @@ impl SynthConfig {
             seed,
             nested_fraction: 0.5,
             next_hops: 32,
+            length_weights: &LENGTH_WEIGHTS,
+        }
+    }
+
+    /// A config with the DFZ-2026 length shape and a next-hop population
+    /// sized like a modern transit router's peer set.
+    pub fn dfz2026(target: usize, seed: u64) -> Self {
+        SynthConfig {
+            next_hops: 64,
+            length_weights: &DFZ2026_LENGTH_WEIGHTS,
+            ..SynthConfig::sized(target, seed)
         }
     }
 }
@@ -65,9 +92,14 @@ impl SynthConfig {
 /// `LENGTH_WEIGHTS` — also used by the update-stream generator so
 /// churn keeps the table's length profile.
 pub fn sample_length(rng: &mut StdRng) -> u8 {
-    let total: f64 = LENGTH_WEIGHTS.iter().sum();
+    sample_length_from(&LENGTH_WEIGHTS, rng)
+}
+
+/// Sample a prefix length from an arbitrary weight table.
+pub fn sample_length_from(weights: &[f64; 33], rng: &mut StdRng) -> u8 {
+    let total: f64 = weights.iter().sum();
     let mut x = rng.gen_range(0.0..total);
-    for (len, &w) in LENGTH_WEIGHTS.iter().enumerate() {
+    for (len, &w) in weights.iter().enumerate() {
         if x < w {
             return len as u8;
         }
@@ -105,7 +137,7 @@ pub fn synthesize(cfg: &SynthConfig) -> RoutingTable {
         .collect();
 
     while entries.len() < cfg.target {
-        let len = sample_length(&mut rng);
+        let len = sample_length_from(cfg.length_weights, &mut rng);
         let nested = !parents.is_empty() && len >= 10 && rng.gen_bool(cfg.nested_fraction);
         let prefix = if nested {
             let parent = parents[rng.gen_range(0..parents.len())];
@@ -170,6 +202,18 @@ pub fn rt2(seed: u64) -> RoutingTable {
 /// A small table (1,000 prefixes) for quick tests and examples.
 pub fn small(seed: u64) -> RoutingTable {
     synthesize(&SynthConfig::sized(1_000, seed))
+}
+
+/// Number of IPv4 prefixes in the DFZ-2026 preset — a shade over a
+/// million, where the real default-free zone sits in 2026.
+pub const DFZ2026_V4_SIZE: usize = 1_010_000;
+
+/// The DFZ-2026 IPv4 table: ~1.01 M prefixes with the modern /24-heavy
+/// length distribution. Generation takes a couple of seconds; callers
+/// that only need the shape should scale down via
+/// [`SynthConfig::dfz2026`] directly.
+pub fn dfz2026_v4(seed: u64) -> RoutingTable {
+    synthesize(&SynthConfig::dfz2026(DFZ2026_V4_SIZE, seed))
 }
 
 #[cfg(test)]
@@ -246,6 +290,36 @@ mod tests {
         for e in &t {
             assert!(e.next_hop.0 < 4);
         }
+    }
+
+    #[test]
+    fn dfz2026_shape_is_modern() {
+        // Full-size generation is exercised by the ignored stress tier;
+        // the shape is seed- and scale-independent, so test at 30k.
+        let t = synthesize(&SynthConfig::dfz2026(30_000, 4));
+        let d = LengthDistribution::of(&t);
+        assert_eq!(d.mode(), Some(24));
+        // /24 share grew relative to the 2003 shape (~52% → ~57%).
+        assert!(d.fraction_exact(24) > 0.48, "got {}", d.fraction_exact(24));
+        // Still well over 83% at or below /24 (partitioning bits ≤ 24).
+        assert!(d.fraction_at_most(24) > 0.90);
+        // /16 no longer dominates the short band: the /20-/23 growth band
+        // outweighs it.
+        let short_band: usize = d.counts[20..=23].iter().sum();
+        assert!(short_band > d.counts[16] * 3);
+        // Host-route residue survives modern filtering.
+        assert!(d.counts[32] > 0);
+        let s = nesting_stats(&t);
+        assert!(s.nested * 4 > t.len());
+    }
+
+    #[test]
+    fn dfz2026_deterministic_and_distinct_from_legacy() {
+        let a = synthesize(&SynthConfig::dfz2026(2_000, 42));
+        let b = synthesize(&SynthConfig::dfz2026(2_000, 42));
+        assert_eq!(a.entries(), b.entries());
+        let legacy = synthesize(&SynthConfig::sized(2_000, 42));
+        assert_ne!(a.entries(), legacy.entries());
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod locality;
 pub mod pool;
 pub mod presets;
 pub mod trace;
+pub mod v6;
 
 pub use adversarial::{cache_thrash, flash_crowd, FlashCrowdConfig, ThrashConfig};
 pub use arrival::{ArrivalProcess, LcSpeed};
@@ -36,3 +37,4 @@ pub use locality::{AliasTable, LocalityModel};
 pub use pool::AddressPool;
 pub use presets::{preset, PresetName, TracePreset, ALL_PRESETS};
 pub use trace::Trace;
+pub use v6::{generate6, AddressPool6, Trace6};

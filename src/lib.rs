@@ -10,9 +10,12 @@
 //! * [`traffic`] — trace presets and packet arrival processes
 //! * [`core`] — partition-bit selection, ROT-partitions, router config
 //! * [`sim`] — the cycle-driven router simulator
+//! * [`dataplane`] — the threaded runtime (v4 and v6), epoch layer,
+//!   version-gated caches
 
 pub use spal_cache as cache;
 pub use spal_core as core;
+pub use spal_dataplane as dataplane;
 pub use spal_fabric as fabric;
 pub use spal_lpm as lpm;
 pub use spal_rib as rib;

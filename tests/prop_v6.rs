@@ -1,13 +1,27 @@
-//! Property-based tests for the IPv6 side: prefix semantics and the
-//! generic partitioner (§6's "feasibly applicable to IPv6").
+//! Property-based tests for the IPv6 side: prefix semantics, the
+//! generic partitioner (§6's "feasibly applicable to IPv6"), and the
+//! 128-bit LR-cache invalidation path the v6 dataplane leans on —
+//! `LrCache6::invalidate_covered` exactness (including the /0 and /128
+//! edges) and the version gate that keeps stale fabric replies out
+//! after a moved prefix's remap invalidation.
 
 use proptest::prelude::*;
+use spal::cache::{LrCache6, LrCacheConfig, Origin, ProbeResult};
 use spal::core::v6::Partitioning6;
+use spal::dataplane::{VersionedCache, VersionedFill};
 use spal::rib::v6::{Prefix6, RouteEntry6, RoutingTable6};
 use spal::rib::NextHop;
 
 fn arb_prefix6() -> impl Strategy<Value = Prefix6> {
     (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| Prefix6::new(bits, len).expect("len ok"))
+}
+
+fn cache6(blocks: usize) -> LrCache6<u16> {
+    LrCache6::new(LrCacheConfig {
+        blocks,
+        assoc: 4,
+        ..Default::default()
+    })
 }
 
 fn arb_table6(max_routes: usize) -> impl Strategy<Value = RoutingTable6> {
@@ -76,6 +90,104 @@ proptest! {
                 "addr {:#034x}", addr
             );
         }
+    }
+
+    #[test]
+    fn lr_cache6_invalidate_covered_is_exact(
+        prefix in arb_prefix6(),
+        addrs in proptest::collection::vec(any::<u128>(), 1..80),
+        biased in 0usize..4,
+    ) {
+        let mut cache = cache6(32);
+        for (i, &addr) in addrs.iter().enumerate() {
+            // Bias some fills inside the prefix so the covered set is
+            // rarely empty even for long prefixes.
+            let addr = if i % 4 == biased && prefix.len() < 128 {
+                prefix.bits() | (addr >> prefix.len())
+            } else {
+                addr
+            };
+            cache.fill(addr, i as u16, Origin::Loc);
+        }
+        let before: Vec<(u128, u16)> = cache.entries().collect();
+        let covered_before = before
+            .iter()
+            .filter(|&&(a, _)| prefix.matches(a))
+            .count();
+        let dropped = cache.invalidate_covered(prefix.bits(), prefix.len());
+        prop_assert_eq!(dropped, covered_before);
+        let mut after: Vec<(u128, u16)> = cache.entries().collect();
+        // Exactly the uncovered entries survive, values intact.
+        let mut expect: Vec<(u128, u16)> = before
+            .into_iter()
+            .filter(|&(a, _)| !prefix.matches(a))
+            .collect();
+        after.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(after, expect);
+    }
+
+    #[test]
+    fn lr_cache6_invalidation_edges(
+        addrs in proptest::collection::vec(any::<u128>(), 1..48),
+        target in 0usize..48,
+    ) {
+        // /128: evicts exactly the one address, nothing else.
+        let mut cache = cache6(32);
+        for (i, &addr) in addrs.iter().enumerate() {
+            cache.fill(addr, i as u16, Origin::Loc);
+        }
+        let target = addrs[target % addrs.len()];
+        let resident: Vec<(u128, u16)> = cache.entries().collect();
+        let dropped = cache.invalidate_covered(target, 128);
+        let held = resident.iter().filter(|&&(a, _)| a == target).count();
+        prop_assert_eq!(dropped, held);
+        prop_assert!(cache.entries().all(|(a, _)| a != target));
+        prop_assert_eq!(cache.entries().count(), resident.len() - held);
+
+        // /0: a full flush regardless of the bits argument.
+        let dropped = cache.invalidate_covered(target, 0);
+        prop_assert_eq!(dropped, resident.len() - held);
+        prop_assert_eq!(cache.entries().count(), 0);
+    }
+
+    #[test]
+    fn versioned_cache6_remap_invalidation_gates_stale_replies(
+        prefix in arb_prefix6(),
+        addr_bits in any::<u128>(),
+        version in 1u64..32,
+    ) {
+        // The v6 dataplane path for a moved prefix: the control plane
+        // re-publishes and broadcasts a targeted invalidation; cached
+        // results under the prefix vanish, and any fabric reply stamped
+        // with an older table version must not repopulate the cache.
+        let mut vc: VersionedCache<u16, u128> = VersionedCache::new(cache6(32));
+        let covered = if prefix.len() >= 128 {
+            prefix.bits()
+        } else {
+            prefix.bits() | (addr_bits >> prefix.len())
+        };
+        vc.fill_local(covered, 7, Origin::Loc);
+        prop_assert!(matches!(vc.probe(covered), ProbeResult::Hit { value: 7, .. }));
+        let dropped = vc.apply_invalidation(prefix.bits(), prefix.len(), version);
+        prop_assert!(dropped >= 1);
+        prop_assert_eq!(vc.probe(covered), ProbeResult::Miss);
+
+        // Stale reply (computed against the pre-remap table): dropped,
+        // and the re-reserved waiter is evicted so a follower re-asks.
+        vc.reserve(covered);
+        prop_assert_eq!(
+            vc.fill_versioned(covered, 9, Origin::Rem, version - 1),
+            VersionedFill::StaleDropped
+        );
+        prop_assert_eq!(vc.probe(covered), ProbeResult::Miss);
+
+        // Current reply: cached.
+        prop_assert!(matches!(
+            vc.fill_versioned(covered, 9, Origin::Rem, version),
+            VersionedFill::Cached(_)
+        ));
+        prop_assert!(matches!(vc.probe(covered), ProbeResult::Hit { value: 9, .. }));
     }
 
     #[test]
